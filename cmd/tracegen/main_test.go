@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestParseIDs(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		err  bool
+	}{
+		{"1,3,7", []int{1, 3, 7}, false},
+		{"0-3", []int{0, 1, 2, 3}, false},
+		{"5, 8-10", []int{5, 8, 9, 10}, false},
+		{"3-1", nil, true},
+		{"x", nil, true},
+		{"1-y", nil, true},
+	}
+	for _, c := range cases {
+		got, err := parseIDs(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("parseIDs(%q): expected error", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseIDs(%q): %v", c.in, err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseIDs(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseIDs(%q) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Command udao-server runs the UDAO model server and optimizer as an HTTP
+// service (the deployment shape of Fig. 1(a): the cloud platform sends a
+// request and receives a recommended configuration within seconds).
+//
+// On startup it samples the requested TPCx-BB workloads on the simulated
+// cluster and trains their models on demand. Endpoints:
+//
+//	POST /predict   {"workload": "...", "objective": "latency", "x": [...]}
+//	GET  /workloads
+//	POST /optimize  {"workload": "...", "weights": [0.9, 0.1], "probes": 30}
+//
+// Example:
+//
+//	udao-server -addr :8080 -workloads 1,9 &
+//	curl -s localhost:8080/optimize -d '{"workload":"q10-w009","weights":[0.9,0.1]}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench/tpcxbb"
+	"repro/internal/model"
+	"repro/internal/modelserver"
+	"repro/internal/service"
+	"repro/internal/space"
+	"repro/internal/spark"
+	"repro/internal/trace"
+)
+
+var (
+	addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+	workloads = flag.String("workloads", "1,9", "comma-separated TPCx-BB workload ids to load")
+	samples   = flag.Int("samples", 60, "training samples per workload")
+	modelKind = flag.String("model", "gp", "model family: gp or dnn")
+	seed      = flag.Int64("seed", 1, "random seed")
+)
+
+func main() {
+	flag.Parse()
+	spc := spark.BatchSpace()
+	cluster := spark.DefaultCluster()
+	store := trace.NewStore()
+
+	for _, part := range strings.Split(*workloads, ",") {
+		id, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || id < 0 || id >= tpcxbb.NumWorkloads {
+			log.Fatalf("bad workload id %q", part)
+		}
+		w := tpcxbb.ByID(id)
+		runner := func(conf space.Values, s int64) (map[string]float64, []float64, error) {
+			m, err := spark.Run(w.Flow, spc, conf, cluster, s)
+			if err != nil {
+				return nil, nil, err
+			}
+			return map[string]float64{
+				"latency": m.LatencySec,
+				"cores":   m.Cores,
+				"cost2":   m.Cost2(),
+			}, m.TraceVector(), nil
+		}
+		confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), *samples, rand.New(rand.NewSource(*seed+int64(id))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Collect(store, spc, w.Flow.Name, confs, runner, *seed); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("loaded workload %s (%d traces)", w.Flow.Name, *samples)
+	}
+
+	kind := modelserver.GP
+	if *modelKind == "dnn" {
+		kind = modelserver.DNN
+	}
+	svc := service.New(modelserver.New(spc, store, modelserver.Config{Kind: kind}))
+	svc.Seed = *seed
+	// Cost in #cores is a known function of the knobs: register it exactly.
+	svc.Exact["cores"] = model.Func{D: spc.Dim(), F: func(x []float64) float64 {
+		vals, err := spc.Decode(x)
+		if err != nil {
+			return 0
+		}
+		inst, _ := spc.Get(vals, spark.KnobInstances)
+		cores, _ := spc.Get(vals, spark.KnobCores)
+		return inst * cores
+	}}
+
+	log.Printf("udao-server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package udao_test
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	udao "repro"
+	"repro/internal/model"
+)
+
+// ExampleOptimizer reproduces the paper's running example (TPCx-BB Q2,
+// Fig. 2): latency vs cost over a single cores knob, with the frontier
+// computed by PF-AP and a latency-leaning recommendation chosen by WUN.
+func ExampleOptimizer() {
+	spc, _ := udao.NewSpace([]udao.Var{
+		{Name: "cores", Kind: udao.Integer, Min: 1, Max: 24},
+	})
+	latency := model.Func{D: 1, F: func(x []float64) float64 {
+		return math.Max(100, 2400/(1+23*x[0]))
+	}}
+	cost := model.Func{D: 1, F: func(x []float64) float64 { return 1 + 23*x[0] }}
+
+	opt, _ := udao.NewOptimizer(spc, []udao.Objective{
+		{Name: "latency", Model: latency},
+		{Name: "cores", Model: cost},
+	}, udao.Options{Probes: 40, Seed: 1})
+
+	frontier, _ := opt.ParetoFrontier()
+	sort.Slice(frontier, func(i, j int) bool {
+		return frontier[i].Objectives["latency"] < frontier[j].Objectives["latency"]
+	})
+	best := frontier[0]
+	fmt.Printf("fastest plan: %.0fs on %.0f cores\n",
+		best.Objectives["latency"], best.Objectives["cores"])
+
+	plan, _ := opt.Recommend(udao.WUN, []float64{0.9, 0.1})
+	fmt.Printf("recommended: %s\n", spc.Describe(plan.Config))
+	// Output:
+	// fastest plan: 100s on 24 cores
+	// recommended: cores=9
+}
+
+// ExampleOptimizer_expand shows the incremental mode of §IV-A: a quick first
+// frontier, grown with more probes as time allows, never losing points.
+func ExampleOptimizer_expand() {
+	spc, _ := udao.NewSpace([]udao.Var{
+		{Name: "cores", Kind: udao.Integer, Min: 1, Max: 24},
+	})
+	latency := model.Func{D: 1, F: func(x []float64) float64 {
+		return math.Max(100, 2400/(1+23*x[0]))
+	}}
+	cost := model.Func{D: 1, F: func(x []float64) float64 { return 1 + 23*x[0] }}
+	opt, _ := udao.NewOptimizer(spc, []udao.Objective{
+		{Name: "latency", Model: latency},
+		{Name: "cores", Model: cost},
+	}, udao.Options{Probes: 6, Seed: 1})
+
+	small, _ := opt.ParetoFrontier()
+	large, _ := opt.Expand(40)
+	fmt.Printf("frontier grew: %v\n", len(large) >= len(small))
+	// Output:
+	// frontier grew: true
+}

@@ -1,0 +1,117 @@
+// Pipeline demonstrates the paper's stated future-work extension (§VIII):
+// optimizing a *pipeline* of analytic tasks under one shared configuration.
+// An ETL stage (SQL+UDF) feeds an ML training stage; the pipeline's latency
+// is the sum of the stages' latencies, combined with model.Sum, and UDAO
+// trades it against the cluster cost exactly as for a single task.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	udao "repro"
+	"repro/internal/bench/tpcxbb"
+	"repro/internal/model"
+	"repro/internal/modelserver"
+	"repro/internal/space"
+	"repro/internal/spark"
+	"repro/internal/trace"
+)
+
+func main() {
+	spc := udao.BatchKnobSpace()
+	cluster := spark.DefaultCluster()
+	// Stage 1: a SQL+UDF workload (template q16); stage 2: an ML workload
+	// (template q27). Both run under the same job configuration.
+	stages := []tpcxbb.Workload{tpcxbb.ByID(15), tpcxbb.ByID(26)}
+	fmt.Printf("pipeline: %s -> %s\n\n", stages[0].Flow.Name, stages[1].Flow.Name)
+
+	// Train one latency model per stage from its own traces.
+	stageModels := make([]udao.Model, len(stages))
+	for i, w := range stages {
+		runner := func(conf space.Values, seed int64) (map[string]float64, []float64, error) {
+			m, err := spark.Run(w.Flow, spc, conf, cluster, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return map[string]float64{"latency": m.LatencySec}, m.TraceVector(), nil
+		}
+		store := trace.NewStore()
+		rng := rand.New(rand.NewSource(int64(31 + i)))
+		confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), 50, rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Collect(store, spc, w.Flow.Name, confs, runner, 1); err != nil {
+			log.Fatal(err)
+		}
+		server := modelserver.New(spc, store, modelserver.Config{Kind: modelserver.GP, LogTargets: true})
+		m, err := server.Model(w.Flow.Name, "latency")
+		if err != nil {
+			log.Fatal(err)
+		}
+		stageModels[i] = m
+	}
+
+	// Pipeline latency = sum of stage latencies under the shared config.
+	pipelineLatency := model.Sum{Models: []model.Model{stageModels[0], stageModels[1]}}
+	coresModel := model.Func{D: spc.Dim(), F: func(x []float64) float64 {
+		vals, err := spc.Decode(x)
+		if err != nil {
+			return 0
+		}
+		inst, _ := spc.Get(vals, spark.KnobInstances)
+		cores, _ := spc.Get(vals, spark.KnobCores)
+		return inst * cores
+	}}
+
+	opt, err := udao.NewOptimizer(spc, []udao.Objective{
+		{Name: "pipeline-latency", Model: pipelineLatency},
+		{Name: "cores", Model: coresModel},
+	}, udao.Options{Probes: 30, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontier, err := opt.ParetoFrontier()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		return frontier[i].Objectives["pipeline-latency"] < frontier[j].Objectives["pipeline-latency"]
+	})
+	fmt.Printf("pipeline frontier (%d points):\n  %14s %8s\n", len(frontier), "pipeline(s)", "cores")
+	for _, p := range frontier {
+		fmt.Printf("  %14.1f %8.0f\n", p.Objectives["pipeline-latency"], p.Objectives["cores"])
+	}
+
+	// Recommend with a latency-leaning preference and measure both stages.
+	plan, err := opt.Recommend(udao.WUN, []float64{0.8, 0.2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := 0.0
+	for _, w := range stages {
+		m, err := spark.Run(w.Flow, spc, plan.Config, cluster, 77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s: measured %.1fs on %g cores", w.Flow.Name, m.LatencySec, m.Cores)
+		total += m.LatencySec
+	}
+	def := 0.0
+	for _, w := range stages {
+		m, err := spark.Run(w.Flow, spc, spark.DefaultBatchConf(spc), cluster, 77)
+		if err != nil {
+			log.Fatal(err)
+		}
+		def += m.LatencySec
+	}
+	fmt.Printf("\n\npipeline total: %.1fs (default config: %.1fs, %.0f%% reduction)\n",
+		total, def, 100*(def-total)/def)
+}

@@ -1,0 +1,72 @@
+// Quickstart: compute a Pareto frontier of latency vs cost for the paper's
+// running example (TPCx-BB Q2's cores tradeoff, Fig. 2) with handcrafted
+// models, then ask for recommendations under different preferences.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	udao "repro"
+	"repro/internal/model"
+)
+
+func main() {
+	// A single knob: the total number of cores allocated to the job.
+	spc, err := udao.NewSpace([]udao.Var{
+		{Name: "cores", Kind: udao.Integer, Min: 1, Max: 24},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Handcrafted models over the normalized decision space (Fig. 3(e)):
+	// latency = max(100, 2400/cores), cost = cores.
+	latency := model.Func{D: 1, F: func(x []float64) float64 {
+		return math.Max(100, 2400/(1+23*x[0]))
+	}}
+	cost := model.Func{D: 1, F: func(x []float64) float64 {
+		return 1 + 23*x[0]
+	}}
+
+	opt, err := udao.NewOptimizer(spc, []udao.Objective{
+		{Name: "latency", Model: latency},
+		{Name: "cores", Model: cost},
+	}, udao.Options{Probes: 40, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frontier, err := opt.ParetoFrontier()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Slice(frontier, func(i, j int) bool {
+		return frontier[i].Objectives["latency"] < frontier[j].Objectives["latency"]
+	})
+	fmt.Printf("Pareto frontier (%d points):\n", len(frontier))
+	fmt.Printf("  %10s %8s %s\n", "latency(s)", "cores", "config")
+	for _, p := range frontier {
+		fmt.Printf("  %10.1f %8.0f %s\n",
+			p.Objectives["latency"], p.Objectives["cores"], spc.Describe(p.Config))
+	}
+
+	uncertain, _ := opt.UncertainSpace()
+	fmt.Printf("\nuncertain objective space remaining: %.1f%%\n\n", 100*uncertain)
+
+	for _, w := range [][]float64{{0.5, 0.5}, {0.9, 0.1}, {0.1, 0.9}} {
+		plan, err := opt.Recommend(udao.WUN, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("weights (lat=%.1f, cost=%.1f) -> %s  (latency %.1fs, %g cores)\n",
+			w[0], w[1], spc.Describe(plan.Config),
+			plan.Objectives["latency"], plan.Objectives["cores"])
+	}
+}

@@ -1,0 +1,369 @@
+// Package core implements the paper's primary contribution: the Progressive
+// Frontier (PF) approach to multi-objective optimization (§III, §IV).
+//
+// The three published variants are all provided:
+//
+//   - PF-S  (Algorithm 1): the deterministic sequential algorithm, realized
+//     by running Sequential with the near-exact solver (internal/solver/exact).
+//   - PF-AS: the approximate sequential algorithm — Sequential with the MOGD
+//     solver (internal/solver/mogd).
+//   - PF-AP: the approximate parallel algorithm (Parallel), which partitions
+//     the hyperrectangle under exploration into an l^k grid and probes every
+//     cell's CO problem simultaneously.
+//
+// The algorithms are incremental (frontiers only grow as more probes are
+// invested) and uncertainty-aware (the sub-hyperrectangle with the largest
+// uncertain volume is always probed next).
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/objective"
+	"repro/internal/solver"
+)
+
+// solverLike is the solver capability Run needs (= solver.Solver).
+type solverLike = solver.Solver
+
+// ErrNoReferencePoint is returned when a per-objective reference solve finds
+// no feasible configuration, i.e. the user's value constraints are
+// unsatisfiable under the current models.
+var ErrNoReferencePoint = errors.New("core: reference-point solve found no feasible configuration")
+
+// ProbeOrder selects how the next hyperrectangle to probe is chosen.
+type ProbeOrder int
+
+// Probe orders. OrderVolume is the paper's uncertainty-aware policy; the
+// others exist for the ablation study of DESIGN.md §4.
+const (
+	OrderVolume ProbeOrder = iota // largest uncertain volume first (default)
+	OrderFIFO                     // breadth-first
+	OrderRandom                   // uniformly random
+)
+
+// Options controls a Progressive Frontier run.
+type Options struct {
+	// Probes is M of Algorithm 1: the total probe budget (including the k
+	// reference-point solves). Default 30.
+	Probes int
+	// TimeBudget stops the run after the given wall-clock duration; zero
+	// means no time limit.
+	TimeBudget time.Duration
+	// Target is the objective index minimized by each Middle Point Probe
+	// (Definition III.3 allows any choice). Default 0.
+	Target int
+	// Grid is l, the per-dimension grid degree of PF-AP (default 2).
+	Grid int
+	// Lower and Upper are the user's optional value constraints
+	// F_i ∈ [F^L_i, F^U_i] (§II-B); nil means unbounded.
+	Lower, Upper objective.Point
+	// Order selects the probing policy (default OrderVolume).
+	Order ProbeOrder
+	// MinRectFrac drops hyperrectangles whose volume falls below this
+	// fraction of the initial volume, treating them as resolved (default
+	// 1e-6). This bounds refinement depth around discrete frontiers.
+	MinRectFrac float64
+	// Seed feeds the underlying solver's multi-start randomness.
+	Seed int64
+	// OnProgress, when non-nil, is invoked after every probe (sequential) or
+	// probe batch (parallel) with a snapshot of the run.
+	OnProgress func(Snapshot)
+}
+
+// Snapshot reports the state of a PF run after a probe.
+type Snapshot struct {
+	Probes        int                  // probes issued so far
+	Elapsed       time.Duration        // wall-clock since the run started
+	UncertainFrac float64              // remaining uncertain space / initial volume
+	FrontierSize  int                  // Pareto points found so far (pre-filter)
+	Frontier      []objective.Solution // dominance-filtered frontier so far
+}
+
+func (o *Options) defaults(k int) {
+	if o.Probes == 0 {
+		o.Probes = 30
+	}
+	if o.Grid == 0 {
+		o.Grid = 2
+	}
+	if o.MinRectFrac == 0 {
+		o.MinRectFrac = 1e-6
+	}
+	if o.Lower == nil {
+		o.Lower = make(objective.Point, k)
+		for i := range o.Lower {
+			o.Lower[i] = math.Inf(-1)
+		}
+	}
+	if o.Upper == nil {
+		o.Upper = make(objective.Point, k)
+		for i := range o.Upper {
+			o.Upper[i] = math.Inf(1)
+		}
+	}
+}
+
+// rectQueue is a max-heap of hyperrectangles ordered by priority — volume
+// under the paper's uncertainty-aware policy (§IV-A), insertion order or a
+// random draw under the ablation policies.
+type rectItem struct {
+	rect     objective.Rect
+	volume   float64
+	priority float64 // larger pops first
+}
+
+type rectQueue []rectItem
+
+func (q rectQueue) Len() int            { return len(q) }
+func (q rectQueue) Less(i, j int) bool  { return q[i].priority > q[j].priority }
+func (q rectQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *rectQueue) Push(x interface{}) { *q = append(*q, x.(rectItem)) }
+func (q *rectQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func (q rectQueue) totalVolume() float64 {
+	s := 0.0
+	for _, it := range q {
+		s += it.volume
+	}
+	return s
+}
+
+// referencePoints solves the k single-objective problems of Algorithm 1
+// line 2 under the user's global constraints, returning the k plans.
+func referencePoints(s solver.Solver, opt Options) ([]objective.Solution, error) {
+	k := s.NumObjectives()
+	cos := make([]solver.CO, k)
+	for i := 0; i < k; i++ {
+		cos[i] = solver.CO{Target: i, Lo: append([]float64(nil), opt.Lower...), Hi: append([]float64(nil), opt.Upper...)}
+	}
+	results := s.SolveBatch(cos, opt.Seed)
+	plans := make([]objective.Solution, 0, k)
+	for i, r := range results {
+		if !r.OK {
+			return nil, fmt.Errorf("%w (objective %d)", ErrNoReferencePoint, i)
+		}
+		plans = append(plans, r.Sol)
+	}
+	return plans, nil
+}
+
+// initialRect derives the Utopia/Nadir hyperrectangle from the reference
+// plans (Definition III.2). ok is false when the rectangle is degenerate —
+// the frontier collapses to a single point.
+func initialRect(plans []objective.Solution) (objective.Rect, bool) {
+	refs := make([]objective.Point, len(plans))
+	for i, p := range plans {
+		refs[i] = p.F
+	}
+	utopia, nadir := objective.Bounds(refs)
+	for i := range utopia {
+		if nadir[i] <= utopia[i] {
+			return objective.Rect{}, false
+		}
+	}
+	return objective.Rect{Utopia: utopia, Nadir: nadir}, true
+}
+
+// middleCO builds the Middle Point Probe CO problem of Definition III.3 for
+// a hyperrectangle: minimize the target within [Utopia, (Utopia+Nadir)/2].
+func middleCO(r objective.Rect, target int) solver.CO {
+	mid := r.Middle()
+	return solver.CO{
+		Target: target,
+		Lo:     append([]float64(nil), r.Utopia...),
+		Hi:     mid,
+	}
+}
+
+// run holds shared state for a PF execution.
+type run struct {
+	s       solver.Solver
+	opt     Options
+	start   time.Time
+	initVol float64
+	queue   rectQueue
+	plans   []objective.Solution
+	probes  int
+	seq     int
+	rng     *rand.Rand
+}
+
+// push enqueues a rectangle unless it is below the resolution cutoff.
+func (r *run) push(rect objective.Rect) {
+	v := rect.Volume()
+	if v <= 0 || v < r.opt.MinRectFrac*r.initVol {
+		return
+	}
+	r.seq++
+	pri := v
+	switch r.opt.Order {
+	case OrderFIFO:
+		pri = -float64(r.seq)
+	case OrderRandom:
+		if r.rng == nil {
+			r.rng = rand.New(rand.NewSource(r.opt.Seed + 424243))
+		}
+		pri = r.rng.Float64()
+	}
+	heap.Push(&r.queue, rectItem{rect: rect, volume: v, priority: pri})
+}
+
+func (r *run) expired() bool {
+	return r.opt.TimeBudget > 0 && time.Since(r.start) > r.opt.TimeBudget
+}
+
+func (r *run) report() {
+	if r.opt.OnProgress == nil {
+		return
+	}
+	frac := 0.0
+	if r.initVol > 0 {
+		frac = r.queue.totalVolume() / r.initVol
+	}
+	r.opt.OnProgress(Snapshot{
+		Probes:        r.probes,
+		Elapsed:       time.Since(r.start),
+		UncertainFrac: frac,
+		FrontierSize:  len(r.plans),
+		Frontier:      objective.Filter(r.plans),
+	})
+}
+
+// fullCO builds the fallback probe over the whole rectangle: when the lower
+// half-box of the Middle Point Probe is empty (Proposition A.3), minimizing
+// the target over [Utopia, Nadir] either finds a Pareto point of the
+// rectangle (Proposition A.1) that subdivides it, or proves the rectangle
+// holds no feasible point at all and it can be discarded. This keeps failed
+// probes from fragmenting empty regions indefinitely.
+func fullCO(r objective.Rect, target int) solver.CO {
+	return solver.CO{
+		Target: target,
+		Lo:     append([]float64(nil), r.Utopia...),
+		Hi:     append([]float64(nil), r.Nadir...),
+	}
+}
+
+// shrinkNoProgress guards against probe points that sit exactly on a corner
+// of the parent rectangle: the Subdivide cell then coincides with the parent
+// and the run would loop. The cell is shrunk by a tiny margin away from the
+// probed point's touching faces, sacrificing an epsilon-thick boundary band
+// (which only ever contains points within 1e-6 of the span of the
+// already-recorded probe) in exchange for guaranteed progress.
+func shrinkNoProgress(parent, sub objective.Rect, f objective.Point) objective.Rect {
+	same := true
+	for d := range parent.Utopia {
+		if sub.Utopia[d] != parent.Utopia[d] || sub.Nadir[d] != parent.Nadir[d] {
+			same = false
+			break
+		}
+	}
+	if !same {
+		return sub
+	}
+	out := objective.Rect{Utopia: sub.Utopia.Clone(), Nadir: sub.Nadir.Clone()}
+	const margin = 1e-6
+	for d := range f {
+		span := out.Nadir[d] - out.Utopia[d]
+		if f[d] <= out.Utopia[d] {
+			out.Utopia[d] += margin * span
+		}
+		if f[d] >= out.Nadir[d] {
+			out.Nadir[d] -= margin * span
+		}
+	}
+	return out
+}
+
+// Sequential runs Algorithm 1 (PF-S with an exact solver, PF-AS with MOGD):
+// iterate Middle Point Probes, always splitting the largest remaining
+// hyperrectangle, until the probe budget, time budget, or the uncertain
+// space is exhausted. The returned frontier is dominance-filtered.
+//
+// For incremental use — growing the frontier across calls as more time is
+// invested (§IV-A property 1) — construct a Run and call Expand repeatedly.
+func Sequential(s solver.Solver, opt Options) ([]objective.Solution, error) {
+	r := NewRun(s, false, opt)
+	return r.Expand(r.opt.Probes)
+}
+
+// Parallel runs PF-AP (§IV-C): the hyperrectangle under exploration is
+// partitioned into an l^k grid whose cells' CO problems are dispatched to
+// the solver simultaneously; each returned Pareto point subdivides its cell
+// and the fragments feed the volume-ordered queue.
+func Parallel(s solver.Solver, opt Options) ([]objective.Solution, error) {
+	r := NewRun(s, true, opt)
+	return r.Expand(r.opt.Probes)
+}
+
+// stepSequential performs one Middle Point Probe (with its full-box
+// fallback) on the largest queued hyperrectangle.
+func (r *run) stepSequential() {
+	it := heap.Pop(&r.queue).(rectItem)
+	co := middleCO(it.rect, r.opt.Target)
+	sol, found := r.s.Solve(co, r.opt.Seed+int64(r.probes)*1_000_003)
+	r.probes++
+	if !found {
+		// The lower half-box is empty; fall back to probing the whole
+		// rectangle before giving up on it.
+		sol, found = r.s.Solve(fullCO(it.rect, r.opt.Target), r.opt.Seed+int64(r.probes)*1_000_003+1)
+		r.probes++
+	}
+	if found {
+		r.plans = append(r.plans, sol)
+		for _, sub := range it.rect.Subdivide(sol.F) {
+			r.push(shrinkNoProgress(it.rect, sub, sol.F))
+		}
+	}
+	r.report()
+}
+
+// stepParallel partitions the largest queued hyperrectangle into an l^k grid
+// and probes every cell simultaneously, retrying failed cells once over
+// their full boxes.
+func (r *run) stepParallel() {
+	it := heap.Pop(&r.queue).(rectItem)
+	cells := it.rect.GridCells(r.opt.Grid)
+	cos := make([]solver.CO, len(cells))
+	for i, c := range cells {
+		cos[i] = middleCO(c, r.opt.Target)
+	}
+	results := r.s.SolveBatch(cos, r.opt.Seed+int64(r.probes)*1_000_003)
+	r.probes += len(cells)
+	// Failed cells get one full-box retry as a second batch.
+	var retryIdx []int
+	var retryCOs []solver.CO
+	for i, res := range results {
+		if !res.OK {
+			retryIdx = append(retryIdx, i)
+			retryCOs = append(retryCOs, fullCO(cells[i], r.opt.Target))
+		}
+	}
+	if len(retryCOs) > 0 {
+		retried := r.s.SolveBatch(retryCOs, r.opt.Seed+int64(r.probes)*1_000_003+1)
+		r.probes += len(retryCOs)
+		for j, res := range retried {
+			results[retryIdx[j]] = res
+		}
+	}
+	for i, res := range results {
+		if res.OK {
+			r.plans = append(r.plans, res.Sol)
+			for _, sub := range cells[i].Subdivide(res.Sol.F) {
+				r.push(shrinkNoProgress(cells[i], sub, res.Sol.F))
+			}
+		}
+	}
+	r.report()
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/objective"
+)
+
+// Run is a resumable Progressive Frontier computation — the incremental mode
+// of §IV-A: "it produces n1 points first (e.g., those that can be computed
+// within the first second), and then expands with additional n2 points,
+// afterwards n3 points, and so on". The frontier only ever grows across
+// Expand calls (consistency), and probing order stays uncertainty-aware.
+type Run struct {
+	s        solverLike
+	opt      Options
+	parallel bool
+	st       *run
+	budget   int
+	started  bool
+	// degenerate marks a frontier that collapsed to a single point during
+	// initialization; further expansion is a no-op.
+	degenerate bool
+}
+
+// NewRun prepares a resumable run; no probes are issued until Expand.
+// Options.Probes is ignored by Expand (each call carries its own budget);
+// Options.TimeBudget applies to each Expand call separately.
+func NewRun(s solverLike, parallel bool, opt Options) *Run {
+	opt.defaults(s.NumObjectives())
+	return &Run{s: s, opt: opt, parallel: parallel}
+}
+
+// Expand invests `probes` additional solver probes (the k reference-point
+// solves count against the first call's budget) and returns the
+// dominance-filtered frontier found so far. The budget is checked between
+// steps, so the final step may overshoot by its own probe count (one
+// fallback probe sequentially, one cell batch in parallel mode).
+func (u *Run) Expand(probes int) ([]objective.Solution, error) {
+	u.budget += probes
+	s := u.s
+	if !u.started {
+		u.started = true
+		u.st = &run{s: s, opt: u.opt, start: time.Now()}
+		plans, err := referencePoints(s, u.opt)
+		if err != nil {
+			return nil, err
+		}
+		u.st.plans = plans
+		u.st.probes = s.NumObjectives()
+		rect, ok := initialRect(plans)
+		if !ok {
+			u.degenerate = true
+			return u.Frontier(), nil
+		}
+		u.st.initVol = rect.Volume()
+		u.st.push(rect)
+		u.st.report()
+	} else {
+		// Each Expand gets a fresh wall-clock budget.
+		u.st.start = time.Now()
+	}
+	if u.degenerate {
+		return u.Frontier(), nil
+	}
+	for u.st.queue.Len() > 0 && u.st.probes < u.budget && !u.st.expired() {
+		if u.parallel {
+			u.st.stepParallel()
+		} else {
+			u.st.stepSequential()
+		}
+	}
+	return u.Frontier(), nil
+}
+
+// Frontier returns the current dominance-filtered Pareto set.
+func (u *Run) Frontier() []objective.Solution {
+	if u.st == nil {
+		return nil
+	}
+	return objective.Filter(u.st.plans)
+}
+
+// Probes returns the number of solver probes issued so far.
+func (u *Run) Probes() int {
+	if u.st == nil {
+		return 0
+	}
+	return u.st.probes
+}
+
+// UncertainFrac returns the fraction of the initial hyperrectangle volume
+// still unresolved (1 before initialization, 0 when exhausted).
+func (u *Run) UncertainFrac() float64 {
+	if u.st == nil || u.st.initVol == 0 {
+		if u.degenerate {
+			return 0
+		}
+		return 1
+	}
+	return u.st.queue.totalVolume() / u.st.initVol
+}
+
+// Exhausted reports whether the uncertain space is fully resolved: further
+// Expand calls cannot find new Pareto points.
+func (u *Run) Exhausted() bool {
+	if u.degenerate {
+		return true
+	}
+	return u.st != nil && u.st.queue.Len() == 0
+}

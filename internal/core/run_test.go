@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunIncrementalExpansion(t *testing.T) {
+	s := exactSolver(t)
+	r := NewRun(s, false, Options{MinRectFrac: 1e-9})
+	f1, err := r.Expand(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f1) < 2 {
+		t.Fatalf("first expansion found %d points", len(f1))
+	}
+	u1 := r.UncertainFrac()
+	f2, err := r.Expand(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2) < len(f1) {
+		t.Fatalf("frontier shrank: %d -> %d", len(f1), len(f2))
+	}
+	if u2 := r.UncertainFrac(); u2 > u1 {
+		t.Fatalf("uncertain space grew: %v -> %v", u1, u2)
+	}
+	// Consistency: every earlier point survives expansion (the property Evo
+	// lacks, §I challenge 2).
+	for _, p := range f1 {
+		found := false
+		for _, q := range f2 {
+			if math.Abs(p.F[0]-q.F[0]) < 1e-9 && math.Abs(p.F[1]-q.F[1]) < 1e-9 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("point %v lost across expansions", p.F)
+		}
+	}
+	// Probe accounting: the budget is checked between steps, so a step may
+	// overshoot by its own probe count (here the fallback probe).
+	if r.Probes() > 30 {
+		t.Fatalf("probes = %d for budget 28", r.Probes())
+	}
+}
+
+func TestRunExhaustion(t *testing.T) {
+	s := exactSolver(t)
+	r := NewRun(s, false, Options{MinRectFrac: 1e-9})
+	var last []int
+	for i := 0; i < 50 && !r.Exhausted(); i++ {
+		f, err := r.Expand(20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = append(last, len(f))
+	}
+	if !r.Exhausted() {
+		t.Fatal("run never exhausted the uncertain space")
+	}
+	f := r.Frontier()
+	if len(f) != 24 {
+		t.Fatalf("exhausted frontier has %d points, want 24", len(f))
+	}
+	if u := r.UncertainFrac(); u != 0 {
+		t.Fatalf("exhausted uncertain frac = %v", u)
+	}
+	// Further expansion is a no-op.
+	f2, err := r.Expand(10)
+	if err != nil || len(f2) != 24 {
+		t.Fatalf("post-exhaustion expand: %d points, %v", len(f2), err)
+	}
+	_ = last
+}
+
+func TestRunParallelMode(t *testing.T) {
+	s := exactSolver(t)
+	r := NewRun(s, true, Options{Grid: 2, MinRectFrac: 1e-9})
+	f, err := r.Expand(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) < 5 {
+		t.Fatalf("parallel run found %d points", len(f))
+	}
+}
+
+func TestRunDegenerate(t *testing.T) {
+	r := NewRun(degenerateSolver{}, false, Options{})
+	f, err := r.Expand(10)
+	if err != nil || len(f) != 1 {
+		t.Fatalf("degenerate expand = %d points, %v", len(f), err)
+	}
+	if !r.Exhausted() || r.UncertainFrac() != 0 {
+		t.Fatal("degenerate run should be exhausted")
+	}
+	f2, err := r.Expand(10)
+	if err != nil || len(f2) != 1 {
+		t.Fatal("degenerate re-expand broken")
+	}
+}
+
+func TestRunBeforeExpand(t *testing.T) {
+	r := NewRun(exactSolver(t), false, Options{})
+	if r.Frontier() != nil || r.Probes() != 0 {
+		t.Fatal("fresh run should be empty")
+	}
+	if r.UncertainFrac() != 1 {
+		t.Fatalf("fresh uncertain frac = %v", r.UncertainFrac())
+	}
+	if r.Exhausted() {
+		t.Fatal("fresh run cannot be exhausted")
+	}
+}
+
+func TestRunInfeasibleReference(t *testing.T) {
+	r := NewRun(exactSolver(t), false, Options{
+		Lower: []float64{0, 0},
+		Upper: []float64{50, 24},
+	})
+	if _, err := r.Expand(10); err == nil {
+		t.Fatal("expected reference-point error")
+	}
+}

@@ -1,0 +1,151 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFilterConstant(t *testing.T) {
+	X := [][]float64{{1, 5, 2}, {1, 5, 3}, {1, 6, 4}}
+	keep := FilterConstant(X)
+	if len(keep) != 2 || keep[0] != 1 || keep[1] != 2 {
+		t.Fatalf("keep = %v, want [1 2]", keep)
+	}
+	if FilterConstant(nil) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestStandardize(t *testing.T) {
+	X := [][]float64{{1, 10}, {2, 20}, {3, 30}}
+	out, means, stds := Standardize(X)
+	if math.Abs(means[0]-2) > 1e-12 || math.Abs(means[1]-20) > 1e-12 {
+		t.Fatalf("means = %v", means)
+	}
+	for j := 0; j < 2; j++ {
+		m, v := 0.0, 0.0
+		for i := range out {
+			m += out[i][j]
+		}
+		m /= 3
+		for i := range out {
+			d := out[i][j] - m
+			v += d * d
+		}
+		if math.Abs(m) > 1e-12 || math.Abs(v/3-1) > 1e-9 {
+			t.Fatalf("column %d not standardized: mean %v var %v", j, m, v/3)
+		}
+	}
+	_ = stds
+	// Constant column gets std 1, no NaN.
+	cst, _, _ := Standardize([][]float64{{5}, {5}})
+	if math.IsNaN(cst[0][0]) {
+		t.Fatal("constant column produced NaN")
+	}
+}
+
+// makeRegression builds y = 3·x0 − 2·x3 + noise over 8 features.
+func makeRegression(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		X[i] = row
+		y[i] = 3*row[0] - 2*row[3] + 0.05*rng.NormFloat64()
+	}
+	return X, y
+}
+
+func TestLassoRecoversSupport(t *testing.T) {
+	X, y := makeRegression(200, 1)
+	Xs, _, _ := Standardize(X)
+	beta := Lasso(Xs, y, 0.1, 500)
+	if math.Abs(beta[0]) < 1 || math.Abs(beta[3]) < 0.5 {
+		t.Fatalf("informative coefficients shrunk away: %v", beta)
+	}
+	for j := range beta {
+		if j == 0 || j == 3 {
+			continue
+		}
+		if math.Abs(beta[j]) > 0.1 {
+			t.Fatalf("noise coefficient %d = %v, want ~0", j, beta[j])
+		}
+	}
+}
+
+func TestLassoHeavyPenaltyZeroesAll(t *testing.T) {
+	X, y := makeRegression(100, 2)
+	Xs, _, _ := Standardize(X)
+	beta := Lasso(Xs, y, 100, 200)
+	for j, b := range beta {
+		if b != 0 {
+			t.Fatalf("coefficient %d = %v under huge penalty", j, b)
+		}
+	}
+	if Lasso(nil, nil, 1, 1) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestLassoPathOrder(t *testing.T) {
+	X, y := makeRegression(200, 3)
+	order := LassoPathOrder(X, y)
+	if len(order) != 8 {
+		t.Fatalf("order length %d", len(order))
+	}
+	// The two informative features must rank in the top two.
+	top := map[int]bool{order[0]: true, order[1]: true}
+	if !top[0] || !top[3] {
+		t.Fatalf("path order = %v, want 0 and 3 first", order)
+	}
+}
+
+func TestLassoPathOrderDegenerate(t *testing.T) {
+	// Constant target: every feature ties; order is the identity.
+	X := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	y := []float64{7, 7, 7}
+	order := LassoPathOrder(X, y)
+	if len(order) != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSelectKnobs(t *testing.T) {
+	X, y := makeRegression(200, 4)
+	// Prefer features 5 and 6 by domain knowledge.
+	sel := SelectKnobs(X, y, []int{5, 6}, 4)
+	if len(sel) != 4 {
+		t.Fatalf("selected %d knobs", len(sel))
+	}
+	has := map[int]bool{}
+	for _, j := range sel {
+		has[j] = true
+	}
+	// Preferred knobs take up to half the budget; LASSO supplies the
+	// informative ones.
+	if !has[5] || !has[6] {
+		t.Fatalf("preferred knobs missing: %v", sel)
+	}
+	if !has[0] || !has[3] {
+		t.Fatalf("informative knobs missing: %v", sel)
+	}
+	if SelectKnobs(X, y, nil, 0) != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	// Duplicate preferences are deduplicated.
+	sel2 := SelectKnobs(X, y, []int{5, 5, 5}, 3)
+	count := 0
+	for _, j := range sel2 {
+		if j == 5 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("duplicate preferred knob kept: %v", sel2)
+	}
+}

@@ -1,0 +1,271 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(0, 2, 3)
+	m.Set(1, 1, 5)
+	if got := m.At(0, 2); got != 3 {
+		t.Fatalf("At(0,2) = %v, want 3", got)
+	}
+	row := m.Row(1)
+	if row[1] != 5 {
+		t.Fatalf("Row(1)[1] = %v, want 5", row[1])
+	}
+	c := m.Clone()
+	c.Set(0, 0, 42)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone is not a deep copy")
+	}
+}
+
+func TestNewMatrixFromPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad length")
+		}
+	}()
+	NewMatrixFrom(2, 2, []float64{1, 2, 3})
+}
+
+func TestTranspose(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	mt := m.T()
+	if mt.Rows != 3 || mt.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", mt.Rows, mt.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != mt.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMatrixFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	y := m.MatVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MatVec = %v, want [6 15]", y)
+	}
+}
+
+func TestMatMul(t *testing.T) {
+	a := NewMatrixFrom(2, 2, []float64{1, 2, 3, 4})
+	b := NewMatrixFrom(2, 2, []float64{5, 6, 7, 8})
+	c := a.MatMul(b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul.Data = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 5
+	a := NewMatrix(n, n)
+	eye := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		eye.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	c := a.MatMul(eye)
+	for i := range a.Data {
+		if !almostEq(a.Data[i], c.Data[i], 1e-12) {
+			t.Fatalf("A·I != A at %d", i)
+		}
+	}
+}
+
+// randomSPD builds a random symmetric positive-definite matrix A = BᵀB + n·I.
+func randomSPD(n int, rng *rand.Rand) *Matrix {
+	b := NewMatrix(n, n)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+	a := b.T().MatMul(b)
+	a.AddDiag(float64(n))
+	return a
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomSPD(n, rng)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("Cholesky failed on SPD matrix: %v", err)
+		}
+		llt := l.MatMul(l.T())
+		for i := range a.Data {
+			if !almostEq(a.Data[i], llt.Data[i], 1e-8) {
+				t.Fatalf("trial %d: L·Lᵀ != A at index %d: %v vs %v", trial, i, llt.Data[i], a.Data[i])
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewMatrixFrom(2, 2, []float64{1, 0, 0, -1})
+	if _, err := Cholesky(m); err == nil {
+		t.Fatal("expected error for indefinite matrix")
+	}
+	r := NewMatrix(2, 3)
+	if _, err := Cholesky(r); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestCholSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(10)
+		a := randomSPD(n, rng)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := a.MatVec(x)
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := CholSolve(l, b)
+		for i := range x {
+			if !almostEq(got[i], x[i], 1e-7) {
+				t.Fatalf("trial %d: solve mismatch at %d: %v vs %v", trial, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestLogDetFromChol(t *testing.T) {
+	// diag(4, 9) has det 36, logdet = log 36.
+	a := NewMatrixFrom(2, 2, []float64{4, 0, 0, 9})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := LogDetFromChol(l); !almostEq(got, math.Log(36), 1e-12) {
+		t.Fatalf("logdet = %v, want %v", got, math.Log(36))
+	}
+}
+
+func TestDotNormDist(t *testing.T) {
+	a := []float64{3, 4}
+	if Dot(a, a) != 25 {
+		t.Fatalf("Dot = %v", Dot(a, a))
+	}
+	if Norm2(a) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(a))
+	}
+	if Dist2([]float64{0, 0}, a) != 25 {
+		t.Fatalf("Dist2 = %v", Dist2([]float64{0, 0}, a))
+	}
+}
+
+func TestAXPYScaleCopy(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	AXPY(2, x, y)
+	if y[0] != 12 || y[1] != 24 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	Scale(0.5, y)
+	if y[0] != 6 || y[1] != 12 {
+		t.Fatalf("Scale = %v", y)
+	}
+	c := CopyVec(y)
+	c[0] = -1
+	if y[0] != 6 {
+		t.Fatal("CopyVec aliases input")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almostEq(Mean(v), 5, 1e-12) {
+		t.Fatalf("Mean = %v", Mean(v))
+	}
+	if !almostEq(StdDev(v), 2, 1e-12) {
+		t.Fatalf("StdDev = %v", StdDev(v))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-input mean/std should be 0")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+// Property: Dot is symmetric and bilinear in the first argument.
+func TestDotProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		if !almostEq(Dot(a, b), Dot(b, a), 1e-6*(1+math.Abs(Dot(a, b)))) {
+			return false
+		}
+		a2 := CopyVec(a)
+		Scale(2, a2)
+		return almostEq(Dot(a2, b), 2*Dot(a, b), 1e-6*(1+math.Abs(Dot(a, b))))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky solve is a right inverse: A · CholSolve(L, b) ≈ b.
+func TestCholSolveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := randomSPD(n, r)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		x := CholSolve(l, b)
+		back := a.MatVec(x)
+		for i := range b {
+			if !almostEq(back[i], b[i], 1e-6) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package metrics implements the evaluation measures of the paper's
+// performance study (§VI): the uncertain-space percentage that Figures 4, 5
+// and 8 track over time, the dominated-hypervolume indicator, and the
+// frontier-consistency measure that exposes the Evo inconsistency of
+// Fig. 4(e).
+//
+// All measures operate on minimization objective spaces bounded by a global
+// [Utopia, Nadir] box. Given a set of (assumed Pareto-optimal) points P, the
+// box splits into three parts: the region dominated by some p ∈ P (certainly
+// not on the frontier), the region dominating some p ∈ P (certainly empty —
+// otherwise p would not be Pareto optimal), and the rest, which remains
+// uncertain. The uncertain fraction is the volume of that rest divided by
+// the box volume.
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"repro/internal/objective"
+)
+
+// UncertainFraction returns the fraction of the [utopia, nadir] box left
+// uncertain by the frontier points. 2D is computed exactly by a sweep;
+// higher dimensions use a deterministic Monte Carlo estimate (30k samples,
+// fixed seed), which is accurate to ~0.6%.
+func UncertainFraction(points []objective.Point, utopia, nadir objective.Point) float64 {
+	k := len(utopia)
+	inside := clipToBox(points, utopia, nadir)
+	if len(inside) == 0 {
+		return 1
+	}
+	if k == 2 {
+		return uncertain2D(inside, utopia, nadir)
+	}
+	return uncertainMC(inside, utopia, nadir, 30_000)
+}
+
+// clipToBox normalizes the points into [0,1]^k relative to the box and
+// clamps them onto it; points are deduplicated.
+func clipToBox(points []objective.Point, utopia, nadir objective.Point) []objective.Point {
+	seen := make(map[string]bool)
+	var out []objective.Point
+	for _, p := range points {
+		q := objective.Normalize(p, utopia, nadir)
+		key := ""
+		for i := range q {
+			if q[i] < 0 {
+				q[i] = 0
+			}
+			if q[i] > 1 {
+				q[i] = 1
+			}
+			key += fmtKey(q[i])
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func fmtKey(v float64) string {
+	return strconv.FormatFloat(v, 'f', 9, 64) + "|"
+}
+
+// uncertain2D sweeps the frontier left to right. With points sorted by the
+// first objective, the dominated region is a staircase above/right of the
+// frontier and the empty region a staircase below/left; the rest is a set of
+// rectangles between consecutive frontier steps.
+func uncertain2D(pts []objective.Point, _, _ objective.Point) float64 {
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	// Keep the non-dominated staircase only (y strictly decreasing).
+	var stair []objective.Point
+	bestY := math.Inf(1)
+	for _, p := range pts {
+		if p[1] < bestY {
+			stair = append(stair, p)
+			bestY = p[1]
+		}
+	}
+	// Dominated volume: union of [p, (1,1)] boxes.
+	dom := 0.0
+	prevX := 1.0
+	for i := len(stair) - 1; i >= 0; i-- {
+		p := stair[i]
+		dom += (prevX - p[0]) * (1 - p[1])
+		prevX = p[0]
+	}
+	// Empty volume: union of [(0,0), p] boxes. With y strictly decreasing
+	// along the staircase, the union decomposes into horizontal slabs
+	// x ∈ [0, x_i], y ∈ [y_{i+1}, y_i].
+	empty := 0.0
+	for i, p := range stair {
+		nextY := 0.0
+		if i+1 < len(stair) {
+			nextY = stair[i+1][1]
+		}
+		empty += p[0] * (p[1] - nextY)
+	}
+	u := 1 - dom - empty
+	if u < 0 {
+		u = 0
+	}
+	return u
+}
+
+// uncertainMC estimates the uncertain fraction by sampling the unit box.
+func uncertainMC(pts []objective.Point, _, _ objective.Point, samples int) float64 {
+	rng := rand.New(rand.NewSource(20210415))
+	k := len(pts[0])
+	x := make(objective.Point, k)
+	uncertain := 0
+	for s := 0; s < samples; s++ {
+		for d := 0; d < k; d++ {
+			x[d] = rng.Float64()
+		}
+		classified := false
+		for _, p := range pts {
+			if p.WeaklyDominates(x) || x.WeaklyDominates(p) {
+				classified = true
+				break
+			}
+		}
+		if !classified {
+			uncertain++
+		}
+	}
+	return float64(uncertain) / float64(samples)
+}
+
+// Hypervolume returns the fraction of the [utopia, nadir] box dominated by
+// the frontier — the standard hypervolume indicator with the Nadir point as
+// reference (higher is better). 2D is exact; higher dimensions use the same
+// deterministic Monte Carlo estimate as UncertainFraction.
+func Hypervolume(points []objective.Point, utopia, nadir objective.Point) float64 {
+	inside := clipToBox(points, utopia, nadir)
+	if len(inside) == 0 {
+		return 0
+	}
+	if len(utopia) == 2 {
+		sort.Slice(inside, func(i, j int) bool { return inside[i][0] < inside[j][0] })
+		dom := 0.0
+		bestY := math.Inf(1)
+		prevX := 1.0
+		var stair []objective.Point
+		for _, p := range inside {
+			if p[1] < bestY {
+				stair = append(stair, p)
+				bestY = p[1]
+			}
+		}
+		for i := len(stair) - 1; i >= 0; i-- {
+			dom += (prevX - stair[i][0]) * (1 - stair[i][1])
+			prevX = stair[i][0]
+		}
+		return dom
+	}
+	rng := rand.New(rand.NewSource(774411))
+	k := len(utopia)
+	x := make(objective.Point, k)
+	hit := 0
+	const samples = 30_000
+	for s := 0; s < samples; s++ {
+		for d := 0; d < k; d++ {
+			x[d] = rng.Float64()
+		}
+		for _, p := range inside {
+			if p.WeaklyDominates(x) {
+				hit++
+				break
+			}
+		}
+	}
+	return float64(hit) / float64(samples)
+}
+
+// Consistency quantifies how well frontier `next` preserves the information
+// of an earlier frontier `prev` (both from the same algorithm at increasing
+// budgets): for every point of prev, the distance to the closest
+// weakly-dominating-or-equal point of next is measured in the normalized
+// box, and the maximum over prev is returned. A consistent, incremental
+// algorithm like PF yields 0 (every earlier point is retained or improved);
+// randomized methods like Evo yield large values when later runs contradict
+// earlier recommendations (Fig. 4(e)).
+func Consistency(prev, next []objective.Point, utopia, nadir objective.Point) float64 {
+	if len(prev) == 0 {
+		return 0
+	}
+	if len(next) == 0 {
+		return math.Inf(1)
+	}
+	np := clipToBox(prev, utopia, nadir)
+	nn := clipToBox(next, utopia, nadir)
+	worst := 0.0
+	for _, p := range np {
+		best := math.Inf(1)
+		for _, q := range nn {
+			if q.WeaklyDominates(p) {
+				best = 0
+				break
+			}
+			if d := q.Dist(p); d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// Coverage counts the points of the frontier that fall inside the box and
+// are mutually non-dominated — the "number of Pareto points produced"
+// reported for WS/NC in Fig. 4(b).
+func Coverage(points []objective.Point, utopia, nadir objective.Point) int {
+	inside := clipToBox(points, utopia, nadir)
+	n := 0
+	for i, p := range inside {
+		dominated := false
+		for j, q := range inside {
+			if i != j && q.Dominates(p) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/objective"
+)
+
+var (
+	u2 = objective.Point{0, 0}
+	n2 = objective.Point{1, 1}
+)
+
+func TestUncertainFractionEmpty(t *testing.T) {
+	if got := UncertainFraction(nil, u2, n2); got != 1 {
+		t.Fatalf("empty frontier uncertainty = %v, want 1", got)
+	}
+}
+
+func TestUncertainFractionSinglePoint2D(t *testing.T) {
+	// A single point at the center: dominated quadrant 0.25, empty quadrant
+	// 0.25, uncertain 0.5.
+	got := UncertainFraction([]objective.Point{{0.5, 0.5}}, u2, n2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("uncertainty = %v, want 0.5", got)
+	}
+}
+
+func TestUncertainFractionDenseFrontier2D(t *testing.T) {
+	// A dense antidiagonal frontier leaves little uncertainty.
+	var pts []objective.Point
+	for i := 0; i <= 100; i++ {
+		x := float64(i) / 100
+		pts = append(pts, objective.Point{x, 1 - x})
+	}
+	got := UncertainFraction(pts, u2, n2)
+	if got > 0.02 {
+		t.Fatalf("dense frontier uncertainty = %v, want < 0.02", got)
+	}
+}
+
+func TestUncertainFractionMonotoneInPoints(t *testing.T) {
+	// Adding frontier points never increases uncertainty.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []objective.Point
+		prev := 1.0
+		for i := 0; i < 10; i++ {
+			// random antidiagonal-ish staircase (mutually non-dominated)
+			x := float64(i)/10 + rng.Float64()*0.05
+			y := prev - 0.05 - rng.Float64()*0.04
+			prev = y
+			pts = append(pts, objective.Point{x, y})
+			u1 := UncertainFraction(pts[:i+1], u2, n2)
+			if i > 0 {
+				u0 := UncertainFraction(pts[:i], u2, n2)
+				if u1 > u0+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUncertainFraction3DMatchesAnalytic(t *testing.T) {
+	// One point at the center of the cube: dominated octant 1/8, empty
+	// octant 1/8, uncertain 3/4.
+	u3 := objective.Point{0, 0, 0}
+	n3 := objective.Point{1, 1, 1}
+	got := UncertainFraction([]objective.Point{{0.5, 0.5, 0.5}}, u3, n3)
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("3D uncertainty = %v, want ~0.75", got)
+	}
+}
+
+func TestUncertain2DAgreesWithMC(t *testing.T) {
+	pts := []objective.Point{{0.2, 0.8}, {0.5, 0.4}, {0.9, 0.1}}
+	exact := UncertainFraction(pts, u2, n2)
+	mc := uncertainMC(clipToBox(pts, u2, n2), u2, n2, 200_000)
+	if math.Abs(exact-mc) > 0.01 {
+		t.Fatalf("2D exact %v vs MC %v", exact, mc)
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	// Point at center dominates a quadrant of volume 0.25.
+	got := Hypervolume([]objective.Point{{0.5, 0.5}}, u2, n2)
+	if math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("HV = %v, want 0.25", got)
+	}
+	if hv := Hypervolume(nil, u2, n2); hv != 0 {
+		t.Fatalf("empty HV = %v", hv)
+	}
+	// Utopia point dominates everything.
+	if hv := Hypervolume([]objective.Point{{0, 0}}, u2, n2); math.Abs(hv-1) > 1e-12 {
+		t.Fatalf("utopia HV = %v, want 1", hv)
+	}
+	// 3D MC path.
+	u3 := objective.Point{0, 0, 0}
+	n3 := objective.Point{1, 1, 1}
+	hv3 := Hypervolume([]objective.Point{{0.5, 0.5, 0.5}}, u3, n3)
+	if math.Abs(hv3-0.125) > 0.01 {
+		t.Fatalf("3D HV = %v, want ~0.125", hv3)
+	}
+}
+
+func TestHypervolumePlusSinglePointUncertainty(t *testing.T) {
+	// For any single point p: uncertain + dominated + empty == 1 in 2D.
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		p := objective.Point{math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))}
+		un := UncertainFraction([]objective.Point{p}, u2, n2)
+		hv := Hypervolume([]objective.Point{p}, u2, n2)
+		empty := p[0] * p[1]
+		return math.Abs(un+hv+empty-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsistency(t *testing.T) {
+	prev := []objective.Point{{0.3, 0.7}, {0.7, 0.3}}
+	// Identical frontier: perfectly consistent.
+	if c := Consistency(prev, prev, u2, n2); c != 0 {
+		t.Fatalf("self consistency = %v, want 0", c)
+	}
+	// A dominating frontier is also consistent.
+	better := []objective.Point{{0.2, 0.6}, {0.6, 0.2}}
+	if c := Consistency(prev, better, u2, n2); c != 0 {
+		t.Fatalf("improving consistency = %v, want 0", c)
+	}
+	// A contradicting frontier (worse in both objectives, far away).
+	worse := []objective.Point{{0.9, 0.9}}
+	if c := Consistency(prev, worse, u2, n2); c < 0.2 {
+		t.Fatalf("contradiction consistency = %v, want > 0.2", c)
+	}
+	// Edge cases.
+	if c := Consistency(nil, prev, u2, n2); c != 0 {
+		t.Fatalf("empty prev = %v", c)
+	}
+	if c := Consistency(prev, nil, u2, n2); !math.IsInf(c, 1) {
+		t.Fatalf("empty next = %v, want +Inf", c)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	pts := []objective.Point{
+		{0.2, 0.8}, {0.5, 0.5}, {0.8, 0.2}, // frontier
+		{0.6, 0.6}, // dominated by (0.5,0.5)
+		{0.2, 0.8}, // duplicate
+	}
+	if c := Coverage(pts, u2, n2); c != 3 {
+		t.Fatalf("Coverage = %d, want 3", c)
+	}
+	if c := Coverage(nil, u2, n2); c != 0 {
+		t.Fatalf("empty Coverage = %d", c)
+	}
+}
+
+func TestDuplicateDedup(t *testing.T) {
+	a := []objective.Point{{0.5, 0.5}}
+	b := []objective.Point{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}
+	if UncertainFraction(a, u2, n2) != UncertainFraction(b, u2, n2) {
+		t.Fatal("duplicates should not change the measure")
+	}
+}

@@ -1,0 +1,378 @@
+// Package dnn implements the learned deep-neural-network performance models
+// of the paper (§V "Model Server": multi-layer perceptrons with ReLU
+// activations trained by Adam with L2 regularization, after [38]).
+//
+// The implementation is self-contained: forward pass, backpropagation with
+// respect to both weights (for training) and inputs (the gradient the MOGD
+// solver consumes), Adam updates, mini-batching, incremental fine-tuning from
+// a checkpoint, and Monte-Carlo-dropout predictive uncertainty (the paper's
+// Bayesian approximation for DNNs [9]).
+package dnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+)
+
+// Config controls network shape and training.
+type Config struct {
+	Hidden  []int   // hidden layer widths; paper's largest model is 4×128
+	LR      float64 // Adam learning rate (default 1e-3)
+	L2      float64 // L2 weight decay (default 1e-4)
+	Epochs  int     // training epochs (default 200)
+	Batch   int     // mini-batch size (default 32)
+	Dropout float64 // MC-dropout rate for uncertainty (default 0.05)
+	Samples int     // MC samples for PredictVar (default 16)
+	Seed    int64   // rng seed for init and shuffling
+}
+
+func (c *Config) defaults() {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.L2 == 0 {
+		c.L2 = 1e-4
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 200
+	}
+	if c.Batch == 0 {
+		c.Batch = 32
+	}
+	if c.Dropout == 0 {
+		c.Dropout = 0.05
+	}
+	if c.Samples == 0 {
+		c.Samples = 16
+	}
+}
+
+// layer is a dense layer y = W·x + b with optional ReLU.
+type layer struct {
+	In, Out int
+	W       []float64 // Out×In, row-major
+	B       []float64 // Out
+	ReLU    bool
+	// Adam state (training only).
+	mW, vW, mB, vB []float64
+}
+
+// Net is a feed-forward regression network Ψ(x): R^D → R.
+type Net struct {
+	InDim  int
+	Cfg    Config
+	Layers []*layer
+	// Target standardization learned during Fit.
+	YMean, YStd float64
+	adamT       int
+	mcCounter   int64
+}
+
+// New creates a network with Glorot-uniform initialization.
+func New(inDim int, cfg Config) *Net {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Net{InDim: inDim, Cfg: cfg, YStd: 1}
+	sizes := append([]int{inDim}, cfg.Hidden...)
+	sizes = append(sizes, 1)
+	for i := 0; i+1 < len(sizes); i++ {
+		in, out := sizes[i], sizes[i+1]
+		l := &layer{In: in, Out: out, ReLU: i+2 < len(sizes)}
+		l.W = make([]float64, in*out)
+		l.B = make([]float64, out)
+		limit := math.Sqrt(6.0 / float64(in+out))
+		for j := range l.W {
+			l.W[j] = (2*rng.Float64() - 1) * limit
+		}
+		l.mW = make([]float64, len(l.W))
+		l.vW = make([]float64, len(l.W))
+		l.mB = make([]float64, len(l.B))
+		l.vB = make([]float64, len(l.B))
+		n.Layers = append(n.Layers, l)
+	}
+	return n
+}
+
+// Dim implements model.Model.
+func (n *Net) Dim() int { return n.InDim }
+
+// forward runs the network, returning the pre-activation and post-activation
+// values of every layer (needed for backprop). dropMask, when non-nil, holds
+// one keep/drop multiplier per hidden unit per layer.
+func (n *Net) forward(x []float64, dropMask [][]float64) (acts [][]float64, out float64) {
+	a := x
+	acts = append(acts, a)
+	for li, l := range n.Layers {
+		z := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, v := range a {
+				s += row[i] * v
+			}
+			if l.ReLU && s < 0 {
+				s = 0
+			}
+			z[o] = s
+		}
+		if dropMask != nil && l.ReLU {
+			for o := range z {
+				z[o] *= dropMask[li][o]
+			}
+		}
+		acts = append(acts, z)
+		a = z
+	}
+	return acts, a[0]
+}
+
+// Predict implements model.Model; it is safe for concurrent use.
+func (n *Net) Predict(x []float64) float64 {
+	if len(x) != n.InDim {
+		panic(fmt.Sprintf("dnn: input length %d != %d", len(x), n.InDim))
+	}
+	_, out := n.forward(x, nil)
+	return out*n.YStd + n.YMean
+}
+
+// Gradient implements model.Gradienter: the analytic ∂Ψ/∂x via backprop
+// through the stored activations. Safe for concurrent use.
+func (n *Net) Gradient(x []float64) []float64 {
+	acts, _ := n.forward(x, nil)
+	// delta over the activations of the current layer, starting at output.
+	delta := []float64{n.YStd}
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		post := acts[li+1]
+		// Backprop through ReLU: zero gradient where the unit was inactive.
+		if l.ReLU {
+			for o := range delta {
+				if post[o] <= 0 {
+					delta[o] = 0
+				}
+			}
+		}
+		prev := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			d := delta[o]
+			if d == 0 {
+				continue
+			}
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, w := range row {
+				prev[i] += d * w
+			}
+		}
+		delta = prev
+	}
+	return delta
+}
+
+// PredictVar implements model.Uncertain with MC dropout: Cfg.Samples
+// stochastic forward passes with dropout rate Cfg.Dropout on hidden units.
+func (n *Net) PredictVar(x []float64) (mean, variance float64) {
+	s := n.Cfg.Samples
+	if s < 2 {
+		return n.Predict(x), 0
+	}
+	rng := rand.New(rand.NewSource(n.Cfg.Seed ^ atomic.AddInt64(&n.mcCounter, 1)))
+	keep := 1 - n.Cfg.Dropout
+	sum, sum2 := 0.0, 0.0
+	for t := 0; t < s; t++ {
+		mask := make([][]float64, len(n.Layers))
+		for li, l := range n.Layers {
+			if !l.ReLU {
+				continue
+			}
+			m := make([]float64, l.Out)
+			for o := range m {
+				if rng.Float64() < keep {
+					m[o] = 1 / keep
+				}
+			}
+			mask[li] = m
+		}
+		_, out := n.forward(x, mask)
+		y := out*n.YStd + n.YMean
+		sum += y
+		sum2 += y * y
+	}
+	mean = sum / float64(s)
+	variance = sum2/float64(s) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return mean, variance
+}
+
+// Fit trains the network on (X, y) from its current weights; calling Fit on
+// a freshly constructed Net is full training, calling it again with new data
+// is the paper's incremental fine-tuning from the latest checkpoint. It
+// returns the final epoch's mean squared error on standardized targets.
+func (n *Net) Fit(X [][]float64, y []float64) float64 {
+	if len(X) != len(y) || len(X) == 0 {
+		panic("dnn: Fit requires equal-length non-empty X and y")
+	}
+	// (Re)standardize targets on first fit only so incremental updates keep
+	// the output scale stable.
+	if n.adamT == 0 {
+		m, s := meanStd(y)
+		if s < 1e-12 {
+			s = 1
+		}
+		n.YMean, n.YStd = m, s
+	}
+	ys := make([]float64, len(y))
+	for i, v := range y {
+		ys[i] = (v - n.YMean) / n.YStd
+	}
+	rng := rand.New(rand.NewSource(n.Cfg.Seed + 1))
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	var lastMSE float64
+	for epoch := 0; epoch < n.Cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		sse := 0.0
+		for start := 0; start < len(idx); start += n.Cfg.Batch {
+			end := start + n.Cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			sse += n.step(X, ys, idx[start:end])
+		}
+		lastMSE = sse / float64(len(idx))
+	}
+	return lastMSE
+}
+
+// step performs one Adam update on a mini-batch and returns the batch SSE.
+func (n *Net) step(X [][]float64, ys []float64, batch []int) float64 {
+	// Accumulate gradients.
+	gW := make([][]float64, len(n.Layers))
+	gB := make([][]float64, len(n.Layers))
+	for li, l := range n.Layers {
+		gW[li] = make([]float64, len(l.W))
+		gB[li] = make([]float64, len(l.B))
+	}
+	sse := 0.0
+	for _, i := range batch {
+		acts, out := n.forward(X[i], nil)
+		err := out - ys[i]
+		sse += err * err
+		delta := []float64{2 * err / float64(len(batch))}
+		for li := len(n.Layers) - 1; li >= 0; li-- {
+			l := n.Layers[li]
+			post := acts[li+1]
+			pre := acts[li]
+			if l.ReLU {
+				for o := range delta {
+					if post[o] <= 0 {
+						delta[o] = 0
+					}
+				}
+			}
+			prev := make([]float64, l.In)
+			for o := 0; o < l.Out; o++ {
+				d := delta[o]
+				gB[li][o] += d
+				if d == 0 {
+					continue
+				}
+				row := l.W[o*l.In : (o+1)*l.In]
+				grow := gW[li][o*l.In : (o+1)*l.In]
+				for j := range row {
+					grow[j] += d * pre[j]
+					prev[j] += d * row[j]
+				}
+			}
+			delta = prev
+		}
+	}
+	// Adam update with decoupled L2.
+	n.adamT++
+	t := float64(n.adamT)
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	bc1 := 1 - math.Pow(b1, t)
+	bc2 := 1 - math.Pow(b2, t)
+	for li, l := range n.Layers {
+		for j := range l.W {
+			g := gW[li][j] + n.Cfg.L2*l.W[j]
+			l.mW[j] = b1*l.mW[j] + (1-b1)*g
+			l.vW[j] = b2*l.vW[j] + (1-b2)*g*g
+			l.W[j] -= n.Cfg.LR * (l.mW[j] / bc1) / (math.Sqrt(l.vW[j]/bc2) + eps)
+		}
+		for j := range l.B {
+			g := gB[li][j]
+			l.mB[j] = b1*l.mB[j] + (1-b1)*g
+			l.vB[j] = b2*l.vB[j] + (1-b2)*g*g
+			l.B[j] -= n.Cfg.LR * (l.mB[j] / bc1) / (math.Sqrt(l.vB[j]/bc2) + eps)
+		}
+	}
+	return sse
+}
+
+func meanStd(v []float64) (float64, float64) {
+	m := 0.0
+	for _, x := range v {
+		m += x
+	}
+	m /= float64(len(v))
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return m, math.Sqrt(s / float64(len(v)))
+}
+
+// checkpoint is the serialized form of a Net (the model server's "best model
+// weights" checkpoint, §V).
+type checkpoint struct {
+	InDim   int         `json:"in_dim"`
+	Cfg     Config      `json:"cfg"`
+	Weights [][]float64 `json:"weights"`
+	Biases  [][]float64 `json:"biases"`
+	YMean   float64     `json:"y_mean"`
+	YStd    float64     `json:"y_std"`
+	AdamT   int         `json:"adam_t"`
+}
+
+// MarshalJSON serializes the network weights for checkpointing.
+func (n *Net) MarshalJSON() ([]byte, error) {
+	cp := checkpoint{InDim: n.InDim, Cfg: n.Cfg, YMean: n.YMean, YStd: n.YStd, AdamT: n.adamT}
+	for _, l := range n.Layers {
+		cp.Weights = append(cp.Weights, append([]float64(nil), l.W...))
+		cp.Biases = append(cp.Biases, append([]float64(nil), l.B...))
+	}
+	return json.Marshal(cp)
+}
+
+// UnmarshalJSON restores a network from a checkpoint.
+func (n *Net) UnmarshalJSON(data []byte) error {
+	var cp checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return err
+	}
+	restored := New(cp.InDim, cp.Cfg)
+	if len(cp.Weights) != len(restored.Layers) {
+		return fmt.Errorf("dnn: checkpoint has %d layers, expected %d", len(cp.Weights), len(restored.Layers))
+	}
+	for i, l := range restored.Layers {
+		if len(cp.Weights[i]) != len(l.W) || len(cp.Biases[i]) != len(l.B) {
+			return fmt.Errorf("dnn: checkpoint layer %d shape mismatch", i)
+		}
+		copy(l.W, cp.Weights[i])
+		copy(l.B, cp.Biases[i])
+	}
+	restored.YMean, restored.YStd, restored.adamT = cp.YMean, cp.YStd, cp.AdamT
+	*n = *restored
+	return nil
+}

@@ -1,0 +1,243 @@
+package dnn
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Autoencoder learns compact workload encodings from runtime-metric vectors
+// — the paper's [38] extension ("our custom DNN models can further extract
+// workload encodings for blackbox programs using advanced autoencoders to
+// improve prediction"). The encoder half maps a metric vector to a
+// low-dimensional embedding; workload mapping can then compare embeddings
+// instead of raw metrics.
+//
+// Architecture: in → hidden → latent → hidden → in, ReLU on hidden layers,
+// linear latent and output, trained to reconstruct standardized inputs with
+// Adam.
+type Autoencoder struct {
+	InDim  int
+	Latent int
+	layers []*layer
+	// Input standardization learned during training.
+	mean, std []float64
+	cfg       Config
+}
+
+// TrainAutoencoder fits an autoencoder with the given latent width on the
+// metric vectors (rows of X must share a length).
+func TrainAutoencoder(X [][]float64, latent int, cfg Config) (*Autoencoder, error) {
+	if len(X) == 0 {
+		return nil, errors.New("dnn: autoencoder needs training data")
+	}
+	in := len(X[0])
+	for _, r := range X {
+		if len(r) != in {
+			return nil, errors.New("dnn: ragged autoencoder input")
+		}
+	}
+	if latent <= 0 || latent >= in {
+		return nil, errors.New("dnn: latent width must be in (0, inDim)")
+	}
+	cfg.defaults()
+	hidden := cfg.Hidden[0]
+	a := &Autoencoder{InDim: in, Latent: latent, cfg: cfg}
+
+	// Standardize inputs.
+	a.mean = make([]float64, in)
+	a.std = make([]float64, in)
+	n := float64(len(X))
+	for j := 0; j < in; j++ {
+		for _, r := range X {
+			a.mean[j] += r[j]
+		}
+		a.mean[j] /= n
+		for _, r := range X {
+			d := r[j] - a.mean[j]
+			a.std[j] += d * d
+		}
+		a.std[j] = math.Sqrt(a.std[j] / n)
+		if a.std[j] < 1e-12 {
+			a.std[j] = 1
+		}
+	}
+	Xs := make([][]float64, len(X))
+	for i, r := range X {
+		s := make([]float64, in)
+		for j := range r {
+			s[j] = (r[j] - a.mean[j]) / a.std[j]
+		}
+		Xs[i] = s
+	}
+
+	// Layers: in→hidden (ReLU), hidden→latent (linear), latent→hidden
+	// (ReLU), hidden→in (linear).
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	shape := []struct {
+		in, out int
+		relu    bool
+	}{{in, hidden, true}, {hidden, latent, false}, {latent, hidden, true}, {hidden, in, false}}
+	for _, sh := range shape {
+		l := &layer{In: sh.in, Out: sh.out, ReLU: sh.relu}
+		l.W = make([]float64, sh.in*sh.out)
+		l.B = make([]float64, sh.out)
+		limit := math.Sqrt(6.0 / float64(sh.in+sh.out))
+		for j := range l.W {
+			l.W[j] = (2*rng.Float64() - 1) * limit
+		}
+		l.mW = make([]float64, len(l.W))
+		l.vW = make([]float64, len(l.W))
+		l.mB = make([]float64, len(l.B))
+		l.vB = make([]float64, len(l.B))
+		a.layers = append(a.layers, l)
+	}
+
+	idx := make([]int, len(Xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	adamT := 0
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += cfg.Batch {
+			end := start + cfg.Batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			batch := idx[start:end]
+			gW := make([][]float64, len(a.layers))
+			gB := make([][]float64, len(a.layers))
+			for li, l := range a.layers {
+				gW[li] = make([]float64, len(l.W))
+				gB[li] = make([]float64, len(l.B))
+			}
+			for _, i := range batch {
+				acts := a.forward(Xs[i])
+				out := acts[len(acts)-1]
+				delta := make([]float64, in)
+				for j := range out {
+					delta[j] = 2 * (out[j] - Xs[i][j]) / float64(len(batch)*in)
+				}
+				for li := len(a.layers) - 1; li >= 0; li-- {
+					l := a.layers[li]
+					post := acts[li+1]
+					pre := acts[li]
+					if l.ReLU {
+						for o := range delta {
+							if post[o] <= 0 {
+								delta[o] = 0
+							}
+						}
+					}
+					prev := make([]float64, l.In)
+					for o := 0; o < l.Out; o++ {
+						d := delta[o]
+						gB[li][o] += d
+						if d == 0 {
+							continue
+						}
+						row := l.W[o*l.In : (o+1)*l.In]
+						grow := gW[li][o*l.In : (o+1)*l.In]
+						for j := range row {
+							grow[j] += d * pre[j]
+							prev[j] += d * row[j]
+						}
+					}
+					delta = prev
+				}
+			}
+			adamT++
+			t := float64(adamT)
+			bc1 := 1 - math.Pow(b1, t)
+			bc2 := 1 - math.Pow(b2, t)
+			for li, l := range a.layers {
+				for j := range l.W {
+					g := gW[li][j] + cfg.L2*l.W[j]
+					l.mW[j] = b1*l.mW[j] + (1-b1)*g
+					l.vW[j] = b2*l.vW[j] + (1-b2)*g*g
+					l.W[j] -= cfg.LR * (l.mW[j] / bc1) / (math.Sqrt(l.vW[j]/bc2) + eps)
+				}
+				for j := range l.B {
+					g := gB[li][j]
+					l.mB[j] = b1*l.mB[j] + (1-b1)*g
+					l.vB[j] = b2*l.vB[j] + (1-b2)*g*g
+					l.B[j] -= cfg.LR * (l.mB[j] / bc1) / (math.Sqrt(l.vB[j]/bc2) + eps)
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// forward returns all layer activations on an already-standardized input.
+func (a *Autoencoder) forward(x []float64) [][]float64 {
+	acts := [][]float64{x}
+	cur := x
+	for _, l := range a.layers {
+		z := make([]float64, l.Out)
+		for o := 0; o < l.Out; o++ {
+			s := l.B[o]
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, v := range cur {
+				s += row[i] * v
+			}
+			if l.ReLU && s < 0 {
+				s = 0
+			}
+			z[o] = s
+		}
+		acts = append(acts, z)
+		cur = z
+	}
+	return acts
+}
+
+func (a *Autoencoder) standardize(v []float64) []float64 {
+	s := make([]float64, len(v))
+	for j := range v {
+		s[j] = (v[j] - a.mean[j]) / a.std[j]
+	}
+	return s
+}
+
+// Embed returns the latent encoding of a metric vector.
+func (a *Autoencoder) Embed(v []float64) []float64 {
+	acts := a.forward(a.standardize(v))
+	// Latent layer is layer index 2 in acts (after in→hidden→latent).
+	out := make([]float64, a.Latent)
+	copy(out, acts[2])
+	return out
+}
+
+// Reconstruct maps a metric vector through the full autoencoder, returning
+// the reconstruction in the original (unstandardized) scale.
+func (a *Autoencoder) Reconstruct(v []float64) []float64 {
+	acts := a.forward(a.standardize(v))
+	out := acts[len(acts)-1]
+	rec := make([]float64, a.InDim)
+	for j := range rec {
+		rec[j] = out[j]*a.std[j] + a.mean[j]
+	}
+	return rec
+}
+
+// ReconstructionError returns the mean squared reconstruction error over X
+// in the standardized scale (a goodness-of-fit diagnostic).
+func (a *Autoencoder) ReconstructionError(X [][]float64) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range X {
+		s := a.standardize(v)
+		acts := a.forward(s)
+		out := acts[len(acts)-1]
+		for j := range s {
+			d := out[j] - s[j]
+			total += d * d
+		}
+	}
+	return total / float64(len(X)*a.InDim)
+}

@@ -1,0 +1,110 @@
+package dnn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// clusteredData generates metric-like vectors from two latent clusters.
+func clusteredData(n int, seed int64) (X [][]float64, labels []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{
+		{10, 0, 5, 100, 2, 0.1, 50, 1},
+		{2, 8, 1, 10, 9, 0.9, 5, 6},
+	}
+	for i := 0; i < n; i++ {
+		c := i % 2
+		v := make([]float64, len(centers[c]))
+		for j := range v {
+			v[j] = centers[c][j] * (1 + 0.1*rng.NormFloat64())
+		}
+		X = append(X, v)
+		labels = append(labels, c)
+	}
+	return X, labels
+}
+
+func TestTrainAutoencoderValidation(t *testing.T) {
+	if _, err := TrainAutoencoder(nil, 2, Config{}); err == nil {
+		t.Fatal("expected error for empty input")
+	}
+	X, _ := clusteredData(10, 1)
+	if _, err := TrainAutoencoder(X, 0, Config{}); err == nil {
+		t.Fatal("expected error for latent 0")
+	}
+	if _, err := TrainAutoencoder(X, len(X[0]), Config{}); err == nil {
+		t.Fatal("expected error for latent >= inDim")
+	}
+	if _, err := TrainAutoencoder([][]float64{{1, 2}, {1}}, 1, Config{}); err == nil {
+		t.Fatal("expected error for ragged input")
+	}
+}
+
+func TestAutoencoderReconstructs(t *testing.T) {
+	X, _ := clusteredData(200, 2)
+	a, err := TrainAutoencoder(X, 2, Config{Hidden: []int{16}, Epochs: 200, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := a.ReconstructionError(X); e > 0.1 {
+		t.Fatalf("reconstruction MSE = %v, want < 0.1", e)
+	}
+	rec := a.Reconstruct(X[0])
+	if len(rec) != len(X[0]) {
+		t.Fatalf("reconstruction length %d", len(rec))
+	}
+	// Reconstruction is in the original scale, within ~30% per feature.
+	for j := range rec {
+		if math.Abs(rec[j]-X[0][j]) > 0.3*math.Abs(X[0][j])+1 {
+			t.Fatalf("feature %d: reconstruct %v vs %v", j, rec[j], X[0][j])
+		}
+	}
+}
+
+func TestEmbeddingSeparatesWorkloads(t *testing.T) {
+	X, labels := clusteredData(200, 3)
+	a, err := TrainAutoencoder(X, 2, Config{Hidden: []int{16}, Epochs: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within-cluster embedding distance must be far below between-cluster.
+	var within, between float64
+	var nw, nb int
+	emb := make([][]float64, len(X))
+	for i := range X {
+		emb[i] = a.Embed(X[i])
+	}
+	for i := 0; i < 60; i++ {
+		for j := i + 1; j < 60; j++ {
+			d := 0.0
+			for k := range emb[i] {
+				dv := emb[i][k] - emb[j][k]
+				d += dv * dv
+			}
+			if labels[i] == labels[j] {
+				within += d
+				nw++
+			} else {
+				between += d
+				nb++
+			}
+		}
+	}
+	within /= float64(nw)
+	between /= float64(nb)
+	if between < 4*within {
+		t.Fatalf("embeddings do not separate clusters: within %v, between %v", within, between)
+	}
+}
+
+func TestEmbedDimension(t *testing.T) {
+	X, _ := clusteredData(50, 4)
+	a, err := TrainAutoencoder(X, 3, Config{Hidden: []int{8}, Epochs: 50, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Embed(X[0]); len(got) != 3 {
+		t.Fatalf("embedding length %d, want 3", len(got))
+	}
+}

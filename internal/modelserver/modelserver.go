@@ -1,0 +1,396 @@
+// Package modelserver implements the paper's model server (§V): it turns
+// collected traces into per-(workload, objective) predictive models — GPs in
+// the OtterTune comparison, DNNs for the headline results, or handcrafted
+// models registered directly — retrains when large trace updates arrive,
+// fine-tunes incrementally on small updates, checkpoints DNN weights, and
+// exposes the models to the MOO process over HTTP/JSON (the paper's
+// "network sockets" interface).
+//
+// The paper runs training asynchronously in the background; the library
+// collapses that to training-on-demand with caching, which preserves the
+// architectural split the paper cares about: MOO only ever sees Model
+// values, never the training pipeline.
+package modelserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/model/dnn"
+	"repro/internal/model/gp"
+	"repro/internal/space"
+	"repro/internal/trace"
+)
+
+// Kind selects the model family.
+type Kind int
+
+// Model families.
+const (
+	GP Kind = iota
+	DNN
+	// Handcrafted uses the Config.FitHandcrafted factory — the paper's
+	// first modeling option (§II-B), e.g. Ernest-style regression from
+	// internal/model/ernest.
+	Handcrafted
+)
+
+// Config controls training.
+type Config struct {
+	Kind Kind
+	// DNNCfg configures DNN training (§V: up to 4×128 ReLU, Adam).
+	DNNCfg dnn.Config
+	// GPCfg configures GP hyperparameter learning.
+	GPCfg gp.Config
+	// RetrainThreshold is the trace-count growth that triggers a full
+	// retrain instead of incremental fine-tuning (paper: ~5000 new traces
+	// retrain, ~1000 fine-tune; scaled down by default to 50).
+	RetrainThreshold int
+	// FineTuneEpochs bounds incremental DNN updates (default 30).
+	FineTuneEpochs int
+	// CheckpointDir, when set, persists DNN weights per (workload,
+	// objective) and restores them on construction.
+	CheckpointDir string
+	// FitHandcrafted builds a handcrafted regression model from training
+	// data; required when Kind is Handcrafted.
+	FitHandcrafted func(X [][]float64, y []float64) (model.Model, error)
+	// LogTargets trains GP/DNN models on log(y) and exponentiates
+	// predictions, keeping extrapolations positive — appropriate for
+	// latency, cost and throughput objectives, whose cluster noise is
+	// multiplicative. Objectives with non-positive observations fall back
+	// to the raw scale automatically.
+	LogTargets bool
+}
+
+func (c *Config) defaults() {
+	if c.RetrainThreshold == 0 {
+		c.RetrainThreshold = 50
+	}
+	if c.FineTuneEpochs == 0 {
+		c.FineTuneEpochs = 30
+	}
+	if len(c.DNNCfg.Hidden) == 0 {
+		c.DNNCfg.Hidden = []int{64, 64}
+	}
+}
+
+type trainedModel struct {
+	m       model.Model
+	atCount int // trace count when (re)trained
+}
+
+// Server trains and caches models over a trace store.
+type Server struct {
+	mu    sync.Mutex
+	spc   *space.Space
+	store *trace.Store
+	cfg   Config
+	cache map[string]*trainedModel // key: workload + "\x00" + objective
+}
+
+// New builds a server over the store.
+func New(spc *space.Space, store *trace.Store, cfg Config) *Server {
+	cfg.defaults()
+	return &Server{spc: spc, store: store, cfg: cfg, cache: map[string]*trainedModel{}}
+}
+
+// Store exposes the underlying trace store (for collection).
+func (s *Server) Store() *trace.Store { return s.store }
+
+// Space exposes the decision space models are trained over.
+func (s *Server) Space() *space.Space { return s.spc }
+
+func key(workload, objective string) string { return workload + "\x00" + objective }
+
+// Model returns the model for (workload, objective), training it from the
+// current traces on first use, fine-tuning after small trace updates, and
+// fully retraining after large ones.
+func (s *Server) Model(workload, objective string) (model.Model, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	entries := s.store.ForWorkload(workload)
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("modelserver: no traces for workload %q", workload)
+	}
+	k := key(workload, objective)
+	cached, ok := s.cache[k]
+	if ok && cached.atCount == len(entries) {
+		return cached.m, nil
+	}
+	X, y, err := dataset(entries, objective, s.spc.Dim())
+	if err != nil {
+		return nil, err
+	}
+	logScale := s.cfg.LogTargets && s.cfg.Kind != Handcrafted
+	if logScale {
+		for _, v := range y {
+			if v <= 0 {
+				logScale = false
+				break
+			}
+		}
+	}
+	if logScale {
+		ly := make([]float64, len(y))
+		for i, v := range y {
+			ly[i] = math.Log(v)
+		}
+		y = ly
+	}
+	var m model.Model
+	switch s.cfg.Kind {
+	case DNN:
+		m, err = s.trainDNN(k, cached, X, y)
+	case Handcrafted:
+		if s.cfg.FitHandcrafted == nil {
+			return nil, fmt.Errorf("modelserver: Handcrafted kind requires Config.FitHandcrafted")
+		}
+		m, err = s.cfg.FitHandcrafted(X, y)
+	default:
+		m, err = gp.Fit(X, y, s.cfg.GPCfg)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("modelserver: training %s/%s: %w", workload, objective, err)
+	}
+	if logScale {
+		m = model.Exp{M: m}
+	}
+	s.cache[k] = &trainedModel{m: m, atCount: len(entries)}
+	return m, nil
+}
+
+func (s *Server) trainDNN(k string, cached *trainedModel, X [][]float64, y []float64) (model.Model, error) {
+	var net *dnn.Net
+	grown := len(X)
+	if cached != nil {
+		grown = len(X) - cached.atCount
+	}
+	if cached != nil && grown < s.cfg.RetrainThreshold {
+		// Small update: fine-tune from the latest checkpoint (unwrapping the
+		// log-target wrapper when present).
+		old, ok := cached.m.(*dnn.Net)
+		if !ok {
+			if e, isExp := cached.m.(model.Exp); isExp {
+				old, ok = e.M.(*dnn.Net)
+			}
+		}
+		if ok {
+			net = old
+			saveEpochs := net.Cfg.Epochs
+			net.Cfg.Epochs = s.cfg.FineTuneEpochs
+			net.Fit(X, y)
+			net.Cfg.Epochs = saveEpochs
+			if err := s.checkpoint(k, net); err != nil {
+				return nil, err
+			}
+			return net, nil
+		}
+	}
+	// Full retrain (or first training). Restore a checkpoint as a warm
+	// start when one exists.
+	cfg := s.cfg.DNNCfg
+	cfg.Seed = int64(len(k)) // deterministic per (workload, objective)
+	net = dnn.New(len(X[0]), cfg)
+	if blob, err := s.loadCheckpoint(k); err == nil {
+		var restored dnn.Net
+		if json.Unmarshal(blob, &restored) == nil && restored.InDim == len(X[0]) {
+			net = &restored
+		}
+	}
+	net.Fit(X, y)
+	if err := s.checkpoint(k, net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func (s *Server) checkpointPath(k string) string {
+	h := 0
+	for _, c := range k {
+		h = h*31 + int(c)
+	}
+	if h < 0 {
+		h = -h
+	}
+	return filepath.Join(s.cfg.CheckpointDir, fmt.Sprintf("ckpt-%d.json", h))
+}
+
+func (s *Server) checkpoint(k string, net *dnn.Net) error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	blob, err := json.Marshal(net)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(s.checkpointPath(k), blob, 0o644)
+}
+
+func (s *Server) loadCheckpoint(k string) ([]byte, error) {
+	if s.cfg.CheckpointDir == "" {
+		return nil, os.ErrNotExist
+	}
+	return os.ReadFile(s.checkpointPath(k))
+}
+
+// Models returns one model per objective name, in order.
+func (s *Server) Models(workload string, objectives []string) ([]model.Model, error) {
+	out := make([]model.Model, 0, len(objectives))
+	for _, o := range objectives {
+		m, err := s.Model(workload, o)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func dataset(entries []trace.Entry, objective string, dim int) ([][]float64, []float64, error) {
+	X := make([][]float64, 0, len(entries))
+	y := make([]float64, 0, len(entries))
+	for _, e := range entries {
+		v, ok := e.Objectives[objective]
+		if !ok {
+			return nil, nil, fmt.Errorf("modelserver: trace missing objective %q", objective)
+		}
+		if len(e.X) != dim {
+			return nil, nil, fmt.Errorf("modelserver: trace has %d dims, space has %d", len(e.X), dim)
+		}
+		X = append(X, e.X)
+		y = append(y, v)
+	}
+	return X, y, nil
+}
+
+// WMAPE computes the weighted mean absolute percentage error of the model
+// against held-out entries — the accuracy measure of Expt 4/5 ("percentage
+// error weighted by the objective value").
+func WMAPE(m model.Model, entries []trace.Entry, objective string) float64 {
+	num, den := 0.0, 0.0
+	for _, e := range entries {
+		truth, ok := e.Objectives[objective]
+		if !ok {
+			continue
+		}
+		num += math.Abs(m.Predict(e.X) - truth)
+		den += math.Abs(truth)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// predictRequest/predictResponse are the HTTP wire types.
+type predictRequest struct {
+	Workload  string    `json:"workload"`
+	Objective string    `json:"objective"`
+	X         []float64 `json:"x"`
+}
+
+type predictResponse struct {
+	Mean     float64 `json:"mean"`
+	Variance float64 `json:"variance"`
+}
+
+// Handler exposes the server over HTTP: POST /predict with a predictRequest
+// returns the model's mean and variance; GET /workloads lists workloads with
+// traces. This is the "network sockets" boundary between the model server
+// and MOO (§V).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req predictRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		m, err := s.Model(req.Workload, req.Objective)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		if len(req.X) != m.Dim() {
+			http.Error(w, fmt.Sprintf("x has %d dims, want %d", len(req.X), m.Dim()), http.StatusBadRequest)
+			return
+		}
+		var resp predictResponse
+		if u, ok := m.(model.Uncertain); ok {
+			resp.Mean, resp.Variance = u.PredictVar(req.X)
+		} else {
+			resp.Mean = m.Predict(req.X)
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/workloads", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.store.Workloads())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// RemoteModel is a model.Model backed by a model server over HTTP — the
+// client side of the socket interface. Failed requests yield NaN
+// predictions, which the caller's feasibility checks reject.
+type RemoteModel struct {
+	URL       string // base URL, e.g. http://127.0.0.1:8080
+	Workload  string
+	Objective string
+	D         int
+	Client    *http.Client
+}
+
+// Dim implements model.Model.
+func (r *RemoteModel) Dim() int { return r.D }
+
+// Predict implements model.Model.
+func (r *RemoteModel) Predict(x []float64) float64 {
+	m, _ := r.PredictVar(x)
+	return m
+}
+
+// PredictVar implements model.Uncertain.
+func (r *RemoteModel) PredictVar(x []float64) (float64, float64) {
+	client := r.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	blob, err := json.Marshal(predictRequest{Workload: r.Workload, Objective: r.Objective, X: x})
+	if err != nil {
+		return math.NaN(), 0
+	}
+	resp, err := client.Post(r.URL+"/predict", "application/json", bytesReader(blob))
+	if err != nil {
+		return math.NaN(), 0
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return math.NaN(), 0
+	}
+	var pr predictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return math.NaN(), 0
+	}
+	return pr.Mean, pr.Variance
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }

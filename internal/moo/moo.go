@@ -1,0 +1,113 @@
+// Package moo defines the common contract for the multi-objective
+// optimization baselines the paper compares against (§VI-A): Weighted Sum
+// (subpackage ws), Normalized Normal Constraints (nc), the NSGA-II
+// evolutionary method (evo), and multi-objective Bayesian optimization
+// (mobo, covering qEHVI- and PESM-style acquisitions). The Progressive
+// Frontier algorithms live in internal/core and are adapted to this
+// interface by the experiment harness.
+package moo
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/objective"
+)
+
+// Options controls a baseline run.
+type Options struct {
+	// Points is the number of Pareto points requested (the paper's "probes").
+	Points int
+	// Seed drives all randomized components.
+	Seed int64
+	// TimeBudget optionally caps wall-clock time; zero means unlimited.
+	TimeBudget time.Duration
+	// OnProgress, when non-nil, is invoked whenever the method's frontier
+	// estimate changes, with the elapsed time and the current frontier.
+	OnProgress func(elapsed time.Duration, frontier []objective.Solution)
+}
+
+// Method approximates the Pareto frontier of a set of objective models over
+// the normalized decision box [0,1]^D.
+type Method interface {
+	// Name identifies the method in experiment output ("WS", "NC", ...).
+	Name() string
+	// Run computes a frontier under the given options.
+	Run(opt Options) ([]objective.Solution, error)
+}
+
+// EvalAll evaluates every objective at x.
+func EvalAll(objs []model.Model, x []float64) objective.Point {
+	f := make(objective.Point, len(objs))
+	for j, m := range objs {
+		f[j] = m.Predict(x)
+	}
+	return f
+}
+
+// MinimizeSingle runs multi-start Adam on one objective over [0,1]^D — the
+// anchor-point subroutine shared by WS and NC (the individual minima that
+// define the utopia geometry of both methods).
+func MinimizeSingle(m model.Model, starts, iters int, lr float64, rng *rand.Rand) ([]float64, float64) {
+	g := model.EnsureGradient(m)
+	dim := m.Dim()
+	bestX := make([]float64, dim)
+	bestF := math.Inf(1)
+	for s := 0; s < starts; s++ {
+		x := make([]float64, dim)
+		if s == 0 {
+			for d := range x {
+				x[d] = 0.5
+			}
+		} else {
+			for d := range x {
+				x[d] = rng.Float64()
+			}
+		}
+		mA := make([]float64, dim)
+		vA := make([]float64, dim)
+		const b1, b2, eps = 0.9, 0.999, 1e-8
+		for it := 1; it <= iters; it++ {
+			grad := g.Gradient(x)
+			t := float64(it)
+			for d := range x {
+				gv := grad[d]
+				mA[d] = b1*mA[d] + (1-b1)*gv
+				vA[d] = b2*vA[d] + (1-b2)*gv*gv
+				step := lr * (mA[d] / (1 - math.Pow(b1, t))) / (math.Sqrt(vA[d]/(1-math.Pow(b2, t))) + eps)
+				x[d] = clamp01(x[d] - step)
+			}
+		}
+		if f := m.Predict(x); f < bestF {
+			bestF = f
+			copy(bestX, x)
+		}
+	}
+	return bestX, bestF
+}
+
+// Anchors computes the k per-objective minima and the resulting global
+// Utopia/Nadir box over the anchor points.
+func Anchors(objs []model.Model, starts, iters int, lr float64, rng *rand.Rand) (sols []objective.Solution, utopia, nadir objective.Point) {
+	refs := make([]objective.Point, 0, len(objs))
+	for _, m := range objs {
+		x, _ := MinimizeSingle(m, starts, iters, lr, rng)
+		f := EvalAll(objs, x)
+		sols = append(sols, objective.Solution{F: f, X: x})
+		refs = append(refs, f)
+	}
+	utopia, nadir = objective.Bounds(refs)
+	return sols, utopia, nadir
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

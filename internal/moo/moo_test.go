@@ -1,0 +1,58 @@
+package moo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/model/analytic"
+)
+
+func TestMinimizeSingleQuadratic(t *testing.T) {
+	m := model.Func{D: 2, F: func(x []float64) float64 {
+		return (x[0]-0.3)*(x[0]-0.3) + (x[1]-0.7)*(x[1]-0.7)
+	}}
+	rng := rand.New(rand.NewSource(1))
+	x, f := MinimizeSingle(m, 4, 200, 0.05, rng)
+	if f > 1e-3 {
+		t.Fatalf("minimum value = %v, want ~0", f)
+	}
+	if math.Abs(x[0]-0.3) > 0.05 || math.Abs(x[1]-0.7) > 0.05 {
+		t.Fatalf("minimizer = %v, want (0.3, 0.7)", x)
+	}
+}
+
+func TestMinimizeSingleBoundary(t *testing.T) {
+	// Minimum at the box corner.
+	m := model.Func{D: 1, F: func(x []float64) float64 { return x[0] }}
+	rng := rand.New(rand.NewSource(2))
+	x, f := MinimizeSingle(m, 4, 200, 0.05, rng)
+	if x[0] > 0.01 || f > 0.01 {
+		t.Fatalf("boundary minimum: x=%v f=%v, want ~0", x, f)
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	lat, cost := analytic.PaperExample()
+	rng := rand.New(rand.NewSource(3))
+	sols, utopia, nadir := Anchors([]model.Model{lat, cost}, 6, 200, 0.05, rng)
+	if len(sols) != 2 {
+		t.Fatalf("anchors = %d, want 2", len(sols))
+	}
+	// Utopia ~ (100, 1), Nadir ~ (2400, 24).
+	if math.Abs(utopia[0]-100) > 10 || math.Abs(utopia[1]-1) > 0.5 {
+		t.Fatalf("utopia = %v", utopia)
+	}
+	if math.Abs(nadir[0]-2400) > 100 || math.Abs(nadir[1]-24) > 1 {
+		t.Fatalf("nadir = %v", nadir)
+	}
+}
+
+func TestEvalAll(t *testing.T) {
+	lat, cost := analytic.PaperExample()
+	f := EvalAll([]model.Model{lat, cost}, []float64{1})
+	if f[0] != 100 || f[1] != 24 {
+		t.Fatalf("EvalAll = %v", f)
+	}
+}

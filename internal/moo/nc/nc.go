@@ -1,0 +1,251 @@
+// Package nc implements the Normalized Normal Constraint baseline [21]
+// (Messac et al.): anchor points define the utopia hyperplane in the
+// normalized objective space; evenly distributed points on that plane each
+// spawn a constrained problem — minimize the last objective subject to
+// normal-hyperplane inequality constraints — solved here by penalty-method
+// gradient descent.
+//
+// As the paper notes (§III), NC uses a preset point count but often returns
+// fewer Pareto points than requested (some sub-problems fail or produce
+// dominated points that the final filter removes), and obtaining more points
+// requires restarting the whole computation — both behaviours are preserved.
+package nc
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/moo"
+	"repro/internal/objective"
+)
+
+// Method is the Normalized Normal Constraint baseline.
+type Method struct {
+	Objectives    []model.Model
+	Starts, Iters int
+	LR            float64
+	// Penalty is the constraint-violation weight (default 50).
+	Penalty float64
+}
+
+// Name implements moo.Method.
+func (m *Method) Name() string { return "NC" }
+
+func (m *Method) defaults() {
+	if m.Starts == 0 {
+		m.Starts = 8
+	}
+	if m.Iters == 0 {
+		m.Iters = 150
+	}
+	if m.LR == 0 {
+		m.LR = 0.05
+	}
+	if m.Penalty == 0 {
+		m.Penalty = 50
+	}
+}
+
+// Run implements moo.Method.
+func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
+	m.defaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	k := len(m.Objectives)
+	anchorSols, utopia, nadir := moo.Anchors(m.Objectives, m.Starts, m.Iters, m.LR, rng)
+
+	// Normalized anchor points.
+	anchors := make([]objective.Point, k)
+	for i, s := range anchorSols {
+		anchors[i] = objective.Normalize(s.F, utopia, nadir)
+	}
+	// Normal directions N_j = anchor_k − anchor_j, j = 1..k−1.
+	normals := make([][]float64, 0, k-1)
+	for j := 0; j < k-1; j++ {
+		n := make([]float64, k)
+		for d := 0; d < k; d++ {
+			n[d] = anchors[k-1][d] - anchors[j][d]
+		}
+		normals = append(normals, n)
+	}
+
+	found := append([]objective.Solution(nil), anchorSols...)
+	report := func() {
+		if opt.OnProgress != nil {
+			opt.OnProgress(time.Since(start), objective.Filter(found))
+		}
+	}
+	report()
+
+	for _, lambda := range planeWeights(opt.Points, k) {
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+			break
+		}
+		// Point on the utopia hyperplane: Xp = Σ λ_i · anchor_i.
+		xp := make(objective.Point, k)
+		for i := 0; i < k; i++ {
+			for d := 0; d < k; d++ {
+				xp[d] += lambda[i] * anchors[i][d]
+			}
+		}
+		if x, ok := m.solveSub(xp, normals, utopia, nadir, rng); ok {
+			found = append(found, objective.Solution{F: moo.EvalAll(m.Objectives, x), X: x})
+		}
+		report()
+	}
+	return objective.Filter(found), nil
+}
+
+// planeWeights enumerates n convex-combination weights over the k anchors —
+// even spacing in 2D, a simplex lattice in higher dimensions.
+func planeWeights(n, k int) [][]float64 {
+	var out [][]float64
+	if k == 2 {
+		for i := 0; i < n; i++ {
+			a := float64(i) / float64(maxInt(n-1, 1))
+			out = append(out, []float64{a, 1 - a})
+		}
+		return out
+	}
+	h := 1
+	for simplexCount(h, k) < n {
+		h++
+	}
+	var rec func(prefix []float64, left, dims int)
+	rec = func(prefix []float64, left, dims int) {
+		if len(out) >= n {
+			return
+		}
+		if dims == 1 {
+			w := append(append([]float64(nil), prefix...), float64(left)/float64(h))
+			out = append(out, w)
+			return
+		}
+		for v := 0; v <= left; v++ {
+			rec(append(prefix, float64(v)/float64(h)), left-v, dims-1)
+		}
+	}
+	rec(nil, h, k)
+	return out
+}
+
+func simplexCount(h, k int) int {
+	n := 1
+	for i := 1; i <= k-1; i++ {
+		n = n * (h + i) / i
+	}
+	return n
+}
+
+// solveSub minimizes F̄_k subject to N_j·(F̄ − Xp) ≤ 0 via Adam on a penalty
+// loss. ok is false when the constraints remain violated at every start.
+func (m *Method) solveSub(xp objective.Point, normals [][]float64, utopia, nadir objective.Point, rng *rand.Rand) ([]float64, bool) {
+	k := len(m.Objectives)
+	dim := m.Objectives[0].Dim()
+	grads := make([]model.Gradienter, k)
+	for i, o := range m.Objectives {
+		grads[i] = model.EnsureGradient(o)
+	}
+	span := func(j int) float64 {
+		s := nadir[j] - utopia[j]
+		if s <= 0 {
+			return 1
+		}
+		return s
+	}
+	normF := func(x []float64) objective.Point {
+		f := moo.EvalAll(m.Objectives, x)
+		return objective.Normalize(f, utopia, nadir)
+	}
+
+	var bestX []float64
+	bestVal := math.Inf(1)
+	for s := 0; s < m.Starts; s++ {
+		x := make([]float64, dim)
+		if s == 0 {
+			for d := range x {
+				x[d] = 0.5
+			}
+		} else {
+			for d := range x {
+				x[d] = rng.Float64()
+			}
+		}
+		mA := make([]float64, dim)
+		vA := make([]float64, dim)
+		const b1, b2, eps = 0.9, 0.999, 1e-8
+		for it := 1; it <= m.Iters; it++ {
+			fb := normF(x)
+			// dL/dF̄_j coefficients.
+			coeff := make([]float64, k)
+			coeff[k-1] = 1 // target: minimize normalized last objective
+			for _, n := range normals {
+				viol := 0.0
+				for d := 0; d < k; d++ {
+					viol += n[d] * (fb[d] - xp[d])
+				}
+				if viol > 0 {
+					for d := 0; d < k; d++ {
+						coeff[d] += 2 * m.Penalty * viol * n[d]
+					}
+				}
+			}
+			grad := make([]float64, dim)
+			for j := 0; j < k; j++ {
+				if coeff[j] == 0 {
+					continue
+				}
+				g := grads[j].Gradient(x)
+				c := coeff[j] / span(j)
+				for d := range grad {
+					grad[d] += c * g[d]
+				}
+			}
+			t := float64(it)
+			for d := range x {
+				gv := grad[d]
+				mA[d] = b1*mA[d] + (1-b1)*gv
+				vA[d] = b2*vA[d] + (1-b2)*gv*gv
+				step := m.LR * (mA[d] / (1 - math.Pow(b1, t))) / (math.Sqrt(vA[d]/(1-math.Pow(b2, t))) + eps)
+				x[d] = clamp01(x[d] - step)
+			}
+		}
+		// Accept only constraint-satisfying finishes.
+		fb := normF(x)
+		feasible := true
+		for _, n := range normals {
+			viol := 0.0
+			for d := 0; d < k; d++ {
+				viol += n[d] * (fb[d] - xp[d])
+			}
+			if viol > 1e-3 {
+				feasible = false
+				break
+			}
+		}
+		if feasible && fb[k-1] < bestVal {
+			bestVal = fb[k-1]
+			bestX = append([]float64(nil), x...)
+		}
+	}
+	return bestX, bestX != nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

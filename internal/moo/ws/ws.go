@@ -1,0 +1,166 @@
+// Package ws implements the Weighted Sum baseline [19]: the MOO problem is
+// scalarized into min Σ w_i·F̂_i for a sweep of weight vectors, each solved
+// by multi-start gradient descent. As the paper observes (§III, Fig. 4(b)),
+// WS is known to have poor coverage of the Pareto frontier — many weight
+// vectors collapse onto the same solution, and points in non-convex regions
+// of the frontier are unreachable — which this implementation reproduces.
+package ws
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/moo"
+	"repro/internal/objective"
+)
+
+// Method is the Weighted Sum baseline.
+type Method struct {
+	Objectives []model.Model
+	// Starts and Iters control the inner gradient-descent solver per weight
+	// vector (defaults 8 and 150; WS needs generous effort per scalarized
+	// problem, which is what makes it slow end-to-end).
+	Starts, Iters int
+	LR            float64
+}
+
+// Name implements moo.Method.
+func (m *Method) Name() string { return "WS" }
+
+func (m *Method) defaults() {
+	if m.Starts == 0 {
+		m.Starts = 8
+	}
+	if m.Iters == 0 {
+		m.Iters = 150
+	}
+	if m.LR == 0 {
+		m.LR = 0.05
+	}
+}
+
+// weightVectors enumerates `n` weight vectors on the unit simplex: a uniform
+// sweep in 2D and a triangular lattice in higher dimensions.
+func weightVectors(n, k int) [][]float64 {
+	var out [][]float64
+	if k == 2 {
+		for i := 0; i < n; i++ {
+			w := float64(i) / float64(max(n-1, 1))
+			out = append(out, []float64{w, 1 - w})
+		}
+		return out
+	}
+	// Simplex lattice: choose the smallest lattice degree h with
+	// C(h+k-1, k-1) >= n, then emit the first n lattice points.
+	h := 1
+	for count(h, k) < n {
+		h++
+	}
+	var rec func(prefix []int, left, dims int)
+	rec = func(prefix []int, left, dims int) {
+		if len(out) >= n {
+			return
+		}
+		if dims == 1 {
+			w := make([]float64, 0, k)
+			for _, p := range prefix {
+				w = append(w, float64(p)/float64(h))
+			}
+			w = append(w, float64(left)/float64(h))
+			out = append(out, w)
+			return
+		}
+		for v := 0; v <= left; v++ {
+			rec(append(prefix, v), left-v, dims-1)
+		}
+	}
+	rec(nil, h, k)
+	return out
+}
+
+func count(h, k int) int {
+	// C(h+k-1, k-1)
+	n := 1
+	for i := 1; i <= k-1; i++ {
+		n = n * (h + i) / i
+	}
+	return n
+}
+
+// Run implements moo.Method: one scalarized solve per weight vector, with
+// objectives normalized by the anchor-point box so weights are comparable.
+func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
+	m.defaults()
+	start := time.Now()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	k := len(m.Objectives)
+	anchorSols, utopia, nadir := moo.Anchors(m.Objectives, m.Starts, m.Iters, m.LR, rng)
+
+	var found []objective.Solution
+	found = append(found, anchorSols...)
+	report := func() {
+		if opt.OnProgress != nil {
+			opt.OnProgress(time.Since(start), objective.Filter(found))
+		}
+	}
+	report()
+
+	for _, w := range weightVectors(opt.Points, k) {
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+			break
+		}
+		scalar := weighted{objs: m.Objectives, w: w, utopia: utopia, nadir: nadir}
+		x, _ := moo.MinimizeSingle(scalar, m.Starts, m.Iters, m.LR, rng)
+		found = append(found, objective.Solution{F: moo.EvalAll(m.Objectives, x), X: x})
+		report()
+	}
+	return objective.Filter(found), nil
+}
+
+// weighted is the scalarized objective Σ w_i·F̂_i with analytic gradients.
+type weighted struct {
+	objs          []model.Model
+	w             []float64
+	utopia, nadir objective.Point
+}
+
+func (s weighted) Dim() int { return s.objs[0].Dim() }
+
+func (s weighted) scale(j int) float64 {
+	span := s.nadir[j] - s.utopia[j]
+	if span <= 0 {
+		span = 1
+	}
+	return span
+}
+
+func (s weighted) Predict(x []float64) float64 {
+	v := 0.0
+	for j, m := range s.objs {
+		v += s.w[j] * (m.Predict(x) - s.utopia[j]) / s.scale(j)
+	}
+	return v
+}
+
+func (s weighted) Gradient(x []float64) []float64 {
+	out := make([]float64, s.Dim())
+	for j, m := range s.objs {
+		if s.w[j] == 0 {
+			continue
+		}
+		g := model.EnsureGradient(m).Gradient(x)
+		c := s.w[j] / s.scale(j)
+		for d := range out {
+			out[d] += c * g[d]
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,250 @@
+// Package ottertune reimplements the behaviour of OtterTune [35] that the
+// paper compares against (§VI-B): a single-objective, GP-based tuner with
+// workload mapping. Given a handful of observations of the target workload,
+// it (1) maps the target onto the most similar historical workload by
+// Euclidean distance over standardized runtime-metric vectors at matching
+// configurations — OtterTune's signature "map a new query against all past
+// queries" step; (2) fits one Gaussian process per objective on the mapped
+// workload's traces augmented with the target's own observations; and
+// (3) minimizes the single weighted objective Σ wᵢ·Ψ̂ᵢ(x) (the weighted
+// method of [39] the paper applies, since OtterTune cannot do MOO) over the
+// GP posterior by lattice candidate search with coordinate refinement.
+package ottertune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/feature"
+	"repro/internal/model"
+	"repro/internal/model/dnn"
+	"repro/internal/model/gp"
+	"repro/internal/space"
+	"repro/internal/trace"
+)
+
+// Tuner is an OtterTune-style single-objective recommender.
+type Tuner struct {
+	Spc     *space.Space
+	History *trace.Store // traces of past (training) workloads
+	GPCfg   gp.Config
+	// Candidates is the GP-search budget (default 2048).
+	Candidates int
+	// RefineSteps is the per-dimension resolution of the local coordinate
+	// refinement around the best candidate (default 16).
+	RefineSteps int
+	// Encoder, when set, maps workloads by comparing learned metric
+	// embeddings instead of standardized raw metrics — the workload-encoding
+	// extension of [38].
+	Encoder *dnn.Autoencoder
+	Seed    int64
+}
+
+func (t *Tuner) defaults() {
+	if t.Candidates == 0 {
+		t.Candidates = 2048
+	}
+	if t.RefineSteps == 0 {
+		t.RefineSteps = 16
+	}
+}
+
+// MapWorkload returns the historical workload most similar to the target
+// observations: for every target observation the closest historical
+// configuration (per candidate workload) is found and the metric vectors
+// compared — standardized raw metrics by default, learned autoencoder
+// embeddings when Encoder is set; the workload with the smallest mean metric
+// distance wins.
+func (t *Tuner) MapWorkload(obs []trace.Entry) (string, error) {
+	workloads := t.History.Workloads()
+	if len(workloads) == 0 {
+		return "", fmt.Errorf("ottertune: empty history")
+	}
+	if len(obs) == 0 {
+		return "", fmt.Errorf("ottertune: no target observations")
+	}
+	var std func(v []float64) []float64
+	if t.Encoder != nil {
+		std = t.Encoder.Embed
+	} else {
+		// Standardize metrics over the whole history + target for
+		// comparability.
+		var all [][]float64
+		for _, w := range workloads {
+			for _, e := range t.History.ForWorkload(w) {
+				all = append(all, e.Metrics)
+			}
+		}
+		for _, e := range obs {
+			all = append(all, e.Metrics)
+		}
+		_, means, stds := feature.Standardize(all)
+		std = func(v []float64) []float64 {
+			out := make([]float64, len(v))
+			for i := range v {
+				out[i] = (v[i] - means[i]) / stds[i]
+			}
+			return out
+		}
+	}
+
+	bestW, bestD := "", math.Inf(1)
+	for _, w := range workloads {
+		entries := t.History.ForWorkload(w)
+		if len(entries) == 0 {
+			continue
+		}
+		total := 0.0
+		for _, o := range obs {
+			// Closest historical configuration in the decision space.
+			var nearest *trace.Entry
+			nd := math.Inf(1)
+			for i := range entries {
+				d := dist2(entries[i].X, o.X)
+				if d < nd {
+					nd = d
+					nearest = &entries[i]
+				}
+			}
+			sm := std(nearest.Metrics)
+			so := std(o.Metrics)
+			total += math.Sqrt(dist2(sm, so))
+		}
+		if avg := total / float64(len(obs)); avg < bestD {
+			bestD = avg
+			bestW = w
+		}
+	}
+	return bestW, nil
+}
+
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Recommend returns the configuration minimizing the weighted combination of
+// the objectives, Σ wᵢ·Ψ̂ᵢ(x), over GPs trained on the mapped workload's
+// traces plus the target observations. It also returns the per-objective
+// models (used by the experiments to ask OtterTune for its own predictions).
+func (t *Tuner) Recommend(obs []trace.Entry, objectives []string, weights []float64) (space.Values, []model.Model, error) {
+	return t.RecommendMaximize(obs, objectives, weights, make([]bool, len(objectives)))
+}
+
+// RecommendMaximize is Recommend with a per-objective orientation mask:
+// maximize[j] objectives contribute −wⱼ·Ψ̂ⱼ to the scalarized score (used
+// for streaming throughput).
+func (t *Tuner) RecommendMaximize(obs []trace.Entry, objectives []string, weights []float64, maximize []bool) (space.Values, []model.Model, error) {
+	t.defaults()
+	if len(objectives) != len(weights) || len(objectives) != len(maximize) {
+		return nil, nil, fmt.Errorf("ottertune: %d objectives vs %d weights vs %d orientations", len(objectives), len(weights), len(maximize))
+	}
+	mapped, err := t.MapWorkload(obs)
+	if err != nil {
+		return nil, nil, err
+	}
+	training := append([]trace.Entry(nil), t.History.ForWorkload(mapped)...)
+	training = append(training, obs...)
+
+	gps := make([]model.Model, len(objectives))
+	lo := make([]float64, len(objectives))
+	hi := make([]float64, len(objectives))
+	for j, objName := range objectives {
+		X := make([][]float64, 0, len(training))
+		y := make([]float64, 0, len(training))
+		lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+		logScale := true
+		for _, e := range training {
+			v, ok := e.Objectives[objName]
+			if !ok {
+				return nil, nil, fmt.Errorf("ottertune: trace missing objective %q", objName)
+			}
+			X = append(X, e.X)
+			y = append(y, v)
+			lo[j] = math.Min(lo[j], v)
+			hi[j] = math.Max(hi[j], v)
+			if v <= 0 {
+				logScale = false
+			}
+		}
+		if hi[j] <= lo[j] {
+			hi[j] = lo[j] + 1
+		}
+		// Positive objectives are modeled in log space (the same hygiene as
+		// the UDAO model server), keeping GP extrapolations physical.
+		ys := y
+		if logScale {
+			ys = make([]float64, len(y))
+			for i, v := range y {
+				ys[i] = math.Log(v)
+			}
+		}
+		g, err := gp.Fit(X, ys, t.GPCfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ottertune: GP for %s: %w", objName, err)
+		}
+		if logScale {
+			gps[j] = model.Exp{M: g}
+		} else {
+			gps[j] = g
+		}
+	}
+
+	score := func(x []float64) float64 {
+		s := 0.0
+		for j, g := range gps {
+			normalized := (g.Predict(x) - lo[j]) / (hi[j] - lo[j])
+			if maximize[j] {
+				s -= weights[j] * normalized
+			} else {
+				s += weights[j] * normalized
+			}
+		}
+		return s
+	}
+
+	rng := rand.New(rand.NewSource(t.Seed))
+	var bestX []float64
+	bestS := math.Inf(1)
+	try := func(x []float64) {
+		rx, err := t.Spc.Round(x)
+		if err != nil {
+			return
+		}
+		if s := score(rx); s < bestS {
+			bestS = s
+			bestX = rx
+		}
+	}
+	// Seed with the observed configurations, then the random sweep.
+	for _, o := range obs {
+		try(o.X)
+	}
+	x := make([]float64, t.Spc.Dim())
+	for c := 0; c < t.Candidates; c++ {
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		try(x)
+	}
+	// Coordinate refinement.
+	for pass := 0; pass < 2; pass++ {
+		for d := 0; d < t.Spc.Dim(); d++ {
+			base := append([]float64(nil), bestX...)
+			for step := 0; step <= t.RefineSteps; step++ {
+				base[d] = float64(step) / float64(t.RefineSteps)
+				try(base)
+			}
+		}
+	}
+	conf, err := t.Spc.Decode(bestX)
+	if err != nil {
+		return nil, nil, err
+	}
+	return conf, gps, nil
+}

@@ -1,0 +1,276 @@
+// Package recommend implements UDAO's automatic solution selection (§V
+// "Recommendation" and Appendix B): once MOO has computed a Pareto set, one
+// configuration is chosen from it by Utopia Nearest (UN), Weighted Utopia
+// Nearest (WUN), workload-aware WUN with internal expert weights, Slope
+// Maximization (SLL/SLR), or Knee Point (KPL/KPR).
+//
+// All strategies operate on minimization objective spaces; points are
+// normalized by the frontier's own Utopia/Nadir box before any distance or
+// slope is computed, so objectives of different magnitudes are comparable.
+package recommend
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/objective"
+)
+
+// ErrEmptyFrontier is returned when no Pareto points are available.
+var ErrEmptyFrontier = errors.New("recommend: empty frontier")
+
+// frontierBox derives the Utopia/Nadir corners of the frontier itself.
+func frontierBox(front []objective.Solution) (utopia, nadir objective.Point) {
+	refs := make([]objective.Point, len(front))
+	for i := range front {
+		refs[i] = front[i].F
+	}
+	utopia, nadir = objective.Bounds(refs)
+	for i := range utopia {
+		if nadir[i] <= utopia[i] {
+			nadir[i] = utopia[i] + 1 // degenerate axis: any value works
+		}
+	}
+	return utopia, nadir
+}
+
+// UtopiaNearest returns the Pareto point closest (Euclidean, normalized) to
+// the Utopia point (§V: the UN strategy).
+func UtopiaNearest(front []objective.Solution) (objective.Solution, error) {
+	k := len(front)
+	if k == 0 {
+		return objective.Solution{}, ErrEmptyFrontier
+	}
+	w := make([]float64, len(front[0].F))
+	for i := range w {
+		w[i] = 1
+	}
+	return WeightedUtopiaNearest(front, w)
+}
+
+// WeightedUtopiaNearest returns the Pareto point minimizing the weighted
+// Euclidean distance to the Utopia point, with weights expressing the
+// application's preference among objectives (§V: the WUN strategy).
+func WeightedUtopiaNearest(front []objective.Solution, weights []float64) (objective.Solution, error) {
+	if len(front) == 0 {
+		return objective.Solution{}, ErrEmptyFrontier
+	}
+	if len(weights) != len(front[0].F) {
+		return objective.Solution{}, errors.New("recommend: weight dimensionality mismatch")
+	}
+	utopia, nadir := frontierBox(front)
+	best := -1
+	bestD := math.Inf(1)
+	for i, s := range front {
+		n := objective.Normalize(s.F, utopia, nadir)
+		d := 0.0
+		for j := range n {
+			d += weights[j] * n[j] * n[j]
+		}
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return front[best].Clone(), nil
+}
+
+// WorkloadClass buckets workloads by their default-configuration latency
+// (§V: "divide workloads into three categories (low, medium, high)").
+type WorkloadClass int
+
+// Workload classes.
+const (
+	ShortRunning WorkloadClass = iota
+	MediumRunning
+	LongRunning
+)
+
+// Classify assigns a class from the latency under the default configuration
+// against the low/high thresholds.
+func Classify(defaultLatency, lowThreshold, highThreshold float64) WorkloadClass {
+	switch {
+	case defaultLatency < lowThreshold:
+		return ShortRunning
+	case defaultLatency > highThreshold:
+		return LongRunning
+	default:
+		return MediumRunning
+	}
+}
+
+// InternalWeights encodes the expert knowledge of §V for the
+// (latency, cost) objective pair: long-running workloads weigh latency
+// higher (encouraging more cores), short-running ones weigh cost higher.
+func InternalWeights(class WorkloadClass, k int) []float64 {
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = 1
+	}
+	if k == 0 {
+		return w
+	}
+	switch class {
+	case LongRunning:
+		w[0] = 1.6 // favor latency: penalize latency distance more
+		if k > 1 {
+			w[1] = 0.4
+		}
+	case ShortRunning:
+		w[0] = 0.4
+		if k > 1 {
+			w[1] = 1.6
+		}
+	}
+	return w
+}
+
+// WorkloadAwareWUN combines internal expert weights wᴵ with the external
+// application weights wᴱ as w = (wᴵ₁·wᴱ₁, …, wᴵₖ·wᴱₖ) before running WUN
+// (§V: "workload-aware WUN").
+func WorkloadAwareWUN(front []objective.Solution, external []float64, class WorkloadClass) (objective.Solution, error) {
+	if len(front) == 0 {
+		return objective.Solution{}, ErrEmptyFrontier
+	}
+	internal := InternalWeights(class, len(front[0].F))
+	if len(external) != len(internal) {
+		return objective.Solution{}, errors.New("recommend: weight dimensionality mismatch")
+	}
+	combined := make([]float64, len(internal))
+	for i := range combined {
+		combined[i] = internal[i] * external[i]
+	}
+	return WeightedUtopiaNearest(front, combined)
+}
+
+// Side selects which reference point anchors a 2D slope/knee strategy.
+type Side int
+
+// Sides: Left anchors at the reference point with minimum F1 (r1), Right at
+// the one with minimum F2 (r2), giving the SLL/SLR and KPL/KPR variants.
+const (
+	Left Side = iota
+	Right
+)
+
+// references returns the two extreme frontier points of a 2D frontier:
+// r1 = argmin F1 and r2 = argmin F2 (Appendix B's reference points).
+func references(front []objective.Solution) (r1, r2 objective.Point) {
+	r1, r2 = front[0].F, front[0].F
+	for _, s := range front[1:] {
+		if s.F[0] < r1[0] || (s.F[0] == r1[0] && s.F[1] < r1[1]) {
+			r1 = s.F
+		}
+		if s.F[1] < r2[1] || (s.F[1] == r2[1] && s.F[0] < r2[0]) {
+			r2 = s.F
+		}
+	}
+	return r1, r2
+}
+
+// slope returns the |Δgain/Δsacrifice| slope between a frontier point and a
+// reference point in the normalized space; 2D only.
+func slope(f, r objective.Point) float64 {
+	dx := math.Abs(f[0] - r[0])
+	dy := math.Abs(f[1] - r[1])
+	if dx < 1e-12 {
+		return math.Inf(1)
+	}
+	return dy / dx
+}
+
+// SlopeMaximization implements Appendix B's Algorithm 2: return the Pareto
+// point with the steepest slope to the chosen reference point — the largest
+// gain on one objective per unit sacrificed on the other. 2D frontiers only.
+func SlopeMaximization(front []objective.Solution, side Side) (objective.Solution, error) {
+	if len(front) == 0 {
+		return objective.Solution{}, ErrEmptyFrontier
+	}
+	if len(front[0].F) != 2 {
+		return objective.Solution{}, errors.New("recommend: slope maximization requires 2 objectives")
+	}
+	utopia, nadir := frontierBox(front)
+	r1, r2 := references(front)
+	r := objective.Normalize(r1, utopia, nadir)
+	if side == Right {
+		r = objective.Normalize(r2, utopia, nadir)
+	}
+	best := -1
+	bestS := -1.0
+	for i, s := range front {
+		n := objective.Normalize(s.F, utopia, nadir)
+		if n.Dist(r) < 1e-12 {
+			continue // the reference itself
+		}
+		sl := slope(n, r)
+		if side == Right && !math.IsInf(sl, 1) && sl != 0 {
+			sl = 1 / sl // measure gain on F2 per unit of F1 sacrificed
+		}
+		if !math.IsInf(sl, 1) && sl > bestS {
+			bestS = sl
+			best = i
+		}
+	}
+	if best < 0 {
+		// Degenerate frontier (single point or axis-aligned): return the
+		// reference side's extreme.
+		if side == Left {
+			return nearestTo(front, r1), nil
+		}
+		return nearestTo(front, r2), nil
+	}
+	return front[best].Clone(), nil
+}
+
+// KneePoint implements Appendix B's Algorithm 3: return the Pareto point
+// maximizing the ratio of its slopes to the two reference points — the point
+// where sacrificing one objective buys the most of the other. 2D only.
+func KneePoint(front []objective.Solution, side Side) (objective.Solution, error) {
+	if len(front) == 0 {
+		return objective.Solution{}, ErrEmptyFrontier
+	}
+	if len(front[0].F) != 2 {
+		return objective.Solution{}, errors.New("recommend: knee point requires 2 objectives")
+	}
+	utopia, nadir := frontierBox(front)
+	r1raw, r2raw := references(front)
+	r1 := objective.Normalize(r1raw, utopia, nadir)
+	r2 := objective.Normalize(r2raw, utopia, nadir)
+	best := -1
+	bestRatio := -1.0
+	for i, s := range front {
+		n := objective.Normalize(s.F, utopia, nadir)
+		if n.Dist(r1) < 1e-12 || n.Dist(r2) < 1e-12 {
+			continue
+		}
+		s1 := slope(n, r1)
+		s2 := slope(n, r2)
+		if math.IsInf(s1, 1) || math.IsInf(s2, 1) || s2 == 0 {
+			continue
+		}
+		ratio := s1 / s2
+		if side == Right {
+			ratio = s2 / s1
+		}
+		if ratio > bestRatio {
+			bestRatio = ratio
+			best = i
+		}
+	}
+	if best < 0 {
+		return UtopiaNearest(front)
+	}
+	return front[best].Clone(), nil
+}
+
+func nearestTo(front []objective.Solution, p objective.Point) objective.Solution {
+	best := 0
+	bestD := math.Inf(1)
+	for i, s := range front {
+		if d := s.F.Dist(p); d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return front[best].Clone()
+}

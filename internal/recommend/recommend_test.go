@@ -1,0 +1,235 @@
+package recommend
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/objective"
+)
+
+// convexFrontier is a dense 2D frontier on the unit circle arc (convex
+// toward the Utopia point), with objective values in latency-like units.
+func convexFrontier() []objective.Solution {
+	var out []objective.Solution
+	for i := 0; i <= 20; i++ {
+		th := float64(i) / 20 * math.Pi / 2
+		lat := 100 + 200*(1-math.Sin(th))
+		cost := 4 + 20*(1-math.Cos(th))
+		out = append(out, objective.Solution{F: objective.Point{lat, cost}, X: []float64{float64(i)}})
+	}
+	return out
+}
+
+func TestUtopiaNearest(t *testing.T) {
+	front := convexFrontier()
+	sol, err := UtopiaNearest(front)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The UN point of a symmetric circular frontier is near the 45° arc.
+	utopia, nadir := frontierBox(front)
+	n := objective.Normalize(sol.F, utopia, nadir)
+	if math.Abs(n[0]-n[1]) > 0.15 {
+		t.Fatalf("UN point not balanced: normalized %v", n)
+	}
+	if _, err := UtopiaNearest(nil); err == nil {
+		t.Fatal("expected ErrEmptyFrontier")
+	}
+}
+
+func TestWeightedUtopiaNearestSkews(t *testing.T) {
+	front := convexFrontier()
+	balanced, err := WeightedUtopiaNearest(front, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	latFavored, err := WeightedUtopiaNearest(front, []float64{10, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latFavored.F[0] >= balanced.F[0] {
+		t.Fatalf("latency weight should pick lower latency: %v vs %v", latFavored.F[0], balanced.F[0])
+	}
+	if latFavored.F[1] <= balanced.F[1] {
+		t.Fatalf("latency weight should cost more: %v vs %v", latFavored.F[1], balanced.F[1])
+	}
+	if _, err := WeightedUtopiaNearest(front, []float64{1}); err == nil {
+		t.Fatal("expected weight dimension error")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(1, 10, 100) != ShortRunning {
+		t.Fatal("short wrong")
+	}
+	if Classify(50, 10, 100) != MediumRunning {
+		t.Fatal("medium wrong")
+	}
+	if Classify(500, 10, 100) != LongRunning {
+		t.Fatal("long wrong")
+	}
+}
+
+func TestWorkloadAwareWUN(t *testing.T) {
+	front := convexFrontier()
+	long, err := WorkloadAwareWUN(front, []float64{1, 1}, LongRunning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := WorkloadAwareWUN(front, []float64{1, 1}, ShortRunning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-running → favor latency → lower latency, more cores than short.
+	if long.F[0] >= short.F[0] {
+		t.Fatalf("long-running should get lower latency: %v vs %v", long.F[0], short.F[0])
+	}
+	if long.F[1] <= short.F[1] {
+		t.Fatalf("long-running should use more cores: %v vs %v", long.F[1], short.F[1])
+	}
+	if _, err := WorkloadAwareWUN(nil, []float64{1, 1}, LongRunning); err == nil {
+		t.Fatal("expected error on empty frontier")
+	}
+	if _, err := WorkloadAwareWUN(front, []float64{1}, LongRunning); err == nil {
+		t.Fatal("expected weight mismatch error")
+	}
+}
+
+func TestInternalWeights(t *testing.T) {
+	wl := InternalWeights(LongRunning, 2)
+	if wl[0] <= wl[1] {
+		t.Fatalf("long-running internal weights = %v, want latency-favoring", wl)
+	}
+	ws := InternalWeights(ShortRunning, 2)
+	if ws[0] >= ws[1] {
+		t.Fatalf("short-running internal weights = %v, want cost-favoring", ws)
+	}
+	wm := InternalWeights(MediumRunning, 3)
+	for _, v := range wm {
+		if v != 1 {
+			t.Fatalf("medium weights = %v, want all 1", wm)
+		}
+	}
+}
+
+func TestSlopeMaximization(t *testing.T) {
+	front := convexFrontier()
+	left, err := SlopeMaximization(front, Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := SlopeMaximization(front, Right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SLL anchors at the min-latency extreme and rewards steep cost savings:
+	// its pick sits on the low-latency side; SLR mirrors it.
+	if left.F[0] >= right.F[0] {
+		t.Fatalf("SLL should favor the low-latency side: SLL %v vs SLR %v", left.F, right.F)
+	}
+	if _, err := SlopeMaximization(nil, Left); err == nil {
+		t.Fatal("expected empty error")
+	}
+	bad := []objective.Solution{{F: objective.Point{1, 2, 3}}}
+	if _, err := SlopeMaximization(bad, Left); err == nil {
+		t.Fatal("expected 2D-only error")
+	}
+}
+
+func TestKneePoint(t *testing.T) {
+	// A frontier with a sharp knee: two nearly-axis-parallel wings meeting
+	// at (150, 8).
+	var front []objective.Solution
+	for i := 0; i <= 10; i++ {
+		// steep wing: latency drops 500→150 while cost rises 4→8
+		front = append(front, objective.Solution{F: objective.Point{500 - 35*float64(i), 4 + 0.4*float64(i)}})
+	}
+	for i := 1; i <= 10; i++ {
+		// flat wing: latency 150→140, cost 8→28
+		front = append(front, objective.Solution{F: objective.Point{150 - float64(i), 8 + 2*float64(i)}})
+	}
+	knee, err := KneePoint(front, Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(knee.F[0]-150) > 40 {
+		t.Fatalf("knee point = %v, want near (150, 8)", knee.F)
+	}
+	if _, err := KneePoint(nil, Left); err == nil {
+		t.Fatal("expected empty error")
+	}
+	bad := []objective.Solution{{F: objective.Point{1, 2, 3}}}
+	if _, err := KneePoint(bad, Left); err == nil {
+		t.Fatal("expected 2D-only error")
+	}
+}
+
+func TestDegenerateFrontiers(t *testing.T) {
+	single := []objective.Solution{{F: objective.Point{100, 8}, X: []float64{0.5}}}
+	if s, err := UtopiaNearest(single); err != nil || s.F[0] != 100 {
+		t.Fatalf("single-point UN = %v, %v", s, err)
+	}
+	if s, err := SlopeMaximization(single, Left); err != nil || s.F[0] != 100 {
+		t.Fatalf("single-point SLL = %v, %v", s, err)
+	}
+	if s, err := KneePoint(single, Right); err != nil || s.F[0] != 100 {
+		t.Fatalf("single-point KP = %v, %v", s, err)
+	}
+}
+
+func TestRecommendationsAreClones(t *testing.T) {
+	front := convexFrontier()
+	sol, _ := UtopiaNearest(front)
+	sol.F[0] = -1
+	sol.X[0] = -1
+	for _, s := range front {
+		if s.F[0] == -1 || s.X[0] == -1 {
+			t.Fatal("recommendation aliases the frontier")
+		}
+	}
+}
+
+// TestWUNPickAlwaysOnFrontier: for random frontiers and weights, WUN returns
+// a member of the frontier (never an interpolation) and heavier latency
+// weight never selects a higher-latency point.
+func TestWUNPickAlwaysOnFrontier(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random mutually non-dominated staircase.
+		n := 3 + rng.Intn(10)
+		var front []objective.Solution
+		lat := 100 + 50*rng.Float64()
+		cost := 50 - 10*rng.Float64()
+		for i := 0; i < n; i++ {
+			lat += 10 + 100*rng.Float64()
+			cost -= (cost - 1) * (0.1 + 0.3*rng.Float64())
+			front = append(front, objective.Solution{F: objective.Point{lat, cost}, X: []float64{float64(i)}})
+		}
+		w1 := 0.2 + 0.6*rng.Float64()
+		pick, err := WeightedUtopiaNearest(front, []float64{w1, 1 - w1})
+		if err != nil {
+			return false
+		}
+		member := false
+		for _, s := range front {
+			if s.F[0] == pick.F[0] && s.F[1] == pick.F[1] {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return false
+		}
+		// Strictly heavier latency preference cannot worsen latency.
+		heavier, err := WeightedUtopiaNearest(front, []float64{w1 * 4, 1 - w1})
+		if err != nil {
+			return false
+		}
+		return heavier.F[0] <= pick.F[0]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

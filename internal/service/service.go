@@ -1,0 +1,160 @@
+// Package service wires the model server and the optimizer into the HTTP
+// deployment shape of Fig. 1(a): user or provider requests arrive with a
+// workload, a set of objectives and optional preference weights, and the
+// service answers with a recommended configuration within seconds, computing
+// (and caching, via the model server) whatever models it needs.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	udao "repro"
+	"repro/internal/model"
+	"repro/internal/modelserver"
+)
+
+// Service is the HTTP front end. Exact registers objectives that are known
+// functions of the knobs (e.g. cost in #cores) and need no learned model.
+type Service struct {
+	Server *modelserver.Server
+	Exact  map[string]model.Model
+	Seed   int64
+
+	mu         sync.Mutex
+	optimizers map[string]*udao.Optimizer // keyed by workload+objectives
+}
+
+// New builds a service over a model server.
+func New(server *modelserver.Server) *Service {
+	return &Service{Server: server, Exact: map[string]model.Model{}, optimizers: map[string]*udao.Optimizer{}}
+}
+
+// OptimizeRequest is the /optimize request body.
+type OptimizeRequest struct {
+	Workload string `json:"workload"`
+	// Objectives to optimize; default ["latency", "cores"]. Prefix an
+	// objective with "-" to maximize it (e.g. "-throughput").
+	Objectives []string  `json:"objectives"`
+	Weights    []float64 `json:"weights"`
+	Probes     int       `json:"probes"`
+}
+
+// OptimizeResponse is the /optimize response body.
+type OptimizeResponse struct {
+	Config         map[string]float64 `json:"config"`
+	Objectives     map[string]float64 `json:"objectives"`
+	FrontierPoints int                `json:"frontier_points"`
+	UncertainSpace float64            `json:"uncertain_space"`
+}
+
+// resolveFor builds the objective list, pulling learned models from the
+// model server and exact models from the registry.
+func (s *Service) resolveFor(workload string, names []string) ([]udao.Objective, error) {
+	if len(names) == 0 {
+		names = []string{"latency", "cores"}
+	}
+	objs := make([]udao.Objective, 0, len(names))
+	for _, n := range names {
+		maximize := false
+		if len(n) > 0 && n[0] == '-' {
+			maximize = true
+			n = n[1:]
+		}
+		if m, ok := s.Exact[n]; ok {
+			objs = append(objs, udao.Objective{Name: n, Model: m, Maximize: maximize})
+			continue
+		}
+		m, err := s.Server.Model(workload, n)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, udao.Objective{Name: n, Model: m, Maximize: maximize})
+	}
+	return objs, nil
+}
+
+// Optimize computes a frontier (cached per workload+objectives, so repeated
+// requests with different weights answer from the cached frontier, §II-B)
+// and recommends with WUN.
+func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
+	if req.Workload == "" {
+		return nil, fmt.Errorf("service: workload required")
+	}
+	key := req.Workload
+	for _, n := range req.Objectives {
+		key += "|" + n
+	}
+	s.mu.Lock()
+	opt, ok := s.optimizers[key]
+	s.mu.Unlock()
+	if !ok {
+		objs, err := s.resolveFor(req.Workload, req.Objectives)
+		if err != nil {
+			return nil, err
+		}
+		probes := req.Probes
+		if probes == 0 {
+			probes = 30
+		}
+		opt, err = udao.NewOptimizer(s.Server.Space(), objs, udao.Options{Probes: probes, Seed: s.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.optimizers[key] = opt
+		s.mu.Unlock()
+	}
+	front, err := opt.ParetoFrontier()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := opt.Recommend(udao.WUN, req.Weights)
+	if err != nil {
+		return nil, err
+	}
+	uncertain, _ := opt.UncertainSpace()
+	spc := s.Server.Space()
+	conf := make(map[string]float64, spc.NumVars())
+	for i, v := range spc.Vars {
+		conf[v.Name] = float64(plan.Config[i])
+	}
+	return &OptimizeResponse{
+		Config:         conf,
+		Objectives:     plan.Objectives,
+		FrontierPoints: len(front),
+		UncertainSpace: uncertain,
+	}, nil
+}
+
+// Handler returns the HTTP mux: /predict and /workloads from the model
+// server, plus /optimize.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	msHandler := s.Server.Handler()
+	mux.Handle("/predict", msHandler)
+	mux.Handle("/workloads", msHandler)
+	mux.HandleFunc("/optimize", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		var req OptimizeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := s.Optimize(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/modelserver"
+	"repro/internal/space"
+	"repro/internal/spark"
+	"repro/internal/trace"
+)
+
+func buildService(t *testing.T) (*Service, string) {
+	t.Helper()
+	spc := spark.BatchSpace()
+	df := spark.Chain("svc-test", 3e6, 100,
+		spark.Operator{Kind: spark.OpScan, Selectivity: 1, CostPerRow: 1},
+		spark.Operator{Kind: spark.OpExchange, Selectivity: 1, CostPerRow: 0.1},
+		spark.Operator{Kind: spark.OpAggregate, Selectivity: 0.01, CostPerRow: 0.5, MemPerRow: 64},
+	)
+	cl := spark.DefaultCluster()
+	run := func(conf space.Values, seed int64) (map[string]float64, []float64, error) {
+		m, err := spark.Run(df, spc, conf, cl, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return map[string]float64{"latency": m.LatencySec}, m.TraceVector(), nil
+	}
+	st := trace.NewStore()
+	rng := rand.New(rand.NewSource(1))
+	confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Collect(st, spc, "svc-test", confs, run, 1); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(modelserver.New(spc, st, modelserver.Config{Kind: modelserver.GP}))
+	svc.Exact["cores"] = model.Func{D: spc.Dim(), F: func(x []float64) float64 {
+		vals, err := spc.Decode(x)
+		if err != nil {
+			return 0
+		}
+		inst, _ := spc.Get(vals, spark.KnobInstances)
+		c, _ := spc.Get(vals, spark.KnobCores)
+		return inst * c
+	}}
+	return svc, "svc-test"
+}
+
+func TestOptimizeDirect(t *testing.T) {
+	svc, wl := buildService(t)
+	resp, err := svc.Optimize(OptimizeRequest{Workload: wl, Weights: []float64{0.5, 0.5}, Probes: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FrontierPoints < 2 {
+		t.Fatalf("frontier points = %d", resp.FrontierPoints)
+	}
+	if resp.Objectives["latency"] <= 0 || resp.Objectives["cores"] <= 0 {
+		t.Fatalf("bad objectives: %v", resp.Objectives)
+	}
+	if _, ok := resp.Config[spark.KnobInstances]; !ok {
+		t.Fatal("config missing knob")
+	}
+	if resp.UncertainSpace < 0 || resp.UncertainSpace > 1 {
+		t.Fatalf("uncertain space = %v", resp.UncertainSpace)
+	}
+}
+
+func TestOptimizeCachesFrontierAcrossWeights(t *testing.T) {
+	svc, wl := buildService(t)
+	a, err := svc.Optimize(OptimizeRequest{Workload: wl, Weights: []float64{0.5, 0.5}, Probes: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := svc.Optimize(OptimizeRequest{Workload: wl, Weights: []float64{0.9, 0.1}, Probes: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same cached frontier answers both preference settings (§II-B).
+	if a.FrontierPoints != b.FrontierPoints {
+		t.Fatalf("frontier recomputed: %d vs %d", a.FrontierPoints, b.FrontierPoints)
+	}
+	if b.Objectives["latency"] > a.Objectives["latency"] {
+		t.Fatalf("latency preference ignored: %v vs %v", b.Objectives["latency"], a.Objectives["latency"])
+	}
+}
+
+func TestOptimizeErrors(t *testing.T) {
+	svc, _ := buildService(t)
+	if _, err := svc.Optimize(OptimizeRequest{}); err == nil {
+		t.Fatal("expected error for missing workload")
+	}
+	if _, err := svc.Optimize(OptimizeRequest{Workload: "nope"}); err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	if _, err := svc.Optimize(OptimizeRequest{Workload: "svc-test", Objectives: []string{"latency", "bogus"}}); err == nil {
+		t.Fatal("expected error for unknown objective")
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	svc, wl := buildService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	// /workloads
+	resp, err := http.Get(ts.URL + "/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wls []string
+	if err := json.NewDecoder(resp.Body).Decode(&wls); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(wls) != 1 || wls[0] != wl {
+		t.Fatalf("workloads = %v", wls)
+	}
+
+	// /optimize happy path
+	body, _ := json.Marshal(OptimizeRequest{Workload: wl, Weights: []float64{0.9, 0.1}, Probes: 12})
+	resp, err = http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.FrontierPoints < 2 {
+		t.Fatalf("frontier points = %d", out.FrontierPoints)
+	}
+
+	// /optimize error paths
+	r2, _ := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader([]byte("nope")))
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", r2.StatusCode)
+	}
+	r2.Body.Close()
+	r3, _ := http.Get(ts.URL + "/optimize")
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET status = %d", r3.StatusCode)
+	}
+	r3.Body.Close()
+}

@@ -1,0 +1,322 @@
+// Package mogd implements the paper's Multi-Objective Gradient Descent
+// solver (§IV-B): constrained single-objective optimization over learned
+// models via a carefully-crafted loss (Eq. 3), Adam updates, multi-start,
+// [0,1]^D boundary clamping, and the variable transformation handled by
+// package space. It also supports the uncertainty-aware objectives
+// F̃(x) = E[F(x)] + α·std[F(x)] of §IV-B.3.
+//
+// The loss for constrained optimization with target objective i is
+//
+//	L(x) = 1{0 ≤ F̂i ≤ 1}·F̂i² + Σ_j 1{F̂j < 0 ∨ F̂j > 1}·[(F̂j − ½)² + P]
+//
+// where F̂j is Fj normalized by its constraint bounds and P is a penalty
+// constant. Descent directions use the analytic mean gradients of the
+// models; the α·std uplift enters the loss values and feasibility checks
+// (its gradient is omitted — a documented approximation that keeps descent
+// cheap and deterministic for MC-dropout models).
+package mogd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/solver"
+	"repro/internal/space"
+)
+
+// Problem couples the k objective models with an optional configuration
+// lattice used to round solutions to deployable configurations.
+type Problem struct {
+	Objectives []model.Model
+	Space      *space.Space // optional; nil keeps solutions continuous
+}
+
+// Config tunes the solver.
+type Config struct {
+	Starts  int     // multi-start count (default 8; start 0 is the center)
+	Iters   int     // Adam iterations per start (default 100)
+	LR      float64 // Adam learning rate in normalized x-space (default 0.05)
+	Penalty float64 // P of Eq. 3 (default 100)
+	Alpha   float64 // uncertainty multiplier for F̃ = E + α·std (default 0)
+	Tol     float64 // feasibility tolerance on the normalized scale (default 1e-4)
+	Workers int     // SolveBatch concurrency (default GOMAXPROCS)
+	Seed    int64
+}
+
+func (c *Config) defaults() {
+	if c.Starts == 0 {
+		c.Starts = 8
+	}
+	if c.Iters == 0 {
+		c.Iters = 100
+	}
+	if c.LR == 0 {
+		c.LR = 0.05
+	}
+	if c.Penalty == 0 {
+		c.Penalty = 100
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-4
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+}
+
+// Solver solves CO problems over a fixed Problem. It is safe for concurrent
+// use as long as the underlying models are.
+type Solver struct {
+	prob  Problem
+	cfg   Config
+	dim   int
+	grads []model.Gradienter
+	// eff holds the objective used for loss values and feasibility: the
+	// conservative estimate when Alpha > 0 and the model is Uncertain.
+	eff []model.Model
+}
+
+// New validates the problem and builds a solver.
+func New(prob Problem, cfg Config) (*Solver, error) {
+	cfg.defaults()
+	if len(prob.Objectives) == 0 {
+		return nil, fmt.Errorf("mogd: no objectives")
+	}
+	dim := prob.Objectives[0].Dim()
+	for i, m := range prob.Objectives {
+		if m.Dim() != dim {
+			return nil, fmt.Errorf("mogd: objective %d has dim %d, want %d", i, m.Dim(), dim)
+		}
+	}
+	if prob.Space != nil && prob.Space.Dim() != dim {
+		return nil, fmt.Errorf("mogd: space dim %d != objective dim %d", prob.Space.Dim(), dim)
+	}
+	s := &Solver{prob: prob, cfg: cfg, dim: dim}
+	for _, m := range prob.Objectives {
+		s.grads = append(s.grads, model.EnsureGradient(m))
+		if cfg.Alpha > 0 {
+			if _, ok := m.(model.Uncertain); ok {
+				s.eff = append(s.eff, model.Conservative{M: m, Alpha: cfg.Alpha})
+				continue
+			}
+		}
+		s.eff = append(s.eff, m)
+	}
+	return s, nil
+}
+
+// Dim returns the decision-space dimensionality.
+func (s *Solver) Dim() int { return s.dim }
+
+// NumObjectives returns k.
+func (s *Solver) NumObjectives() int { return len(s.prob.Objectives) }
+
+// evalAll returns the effective objective values at x.
+func (s *Solver) evalAll(x []float64) objective.Point {
+	f := make(objective.Point, len(s.eff))
+	for j, m := range s.eff {
+		f[j] = m.Predict(x)
+	}
+	return f
+}
+
+// feasible reports whether f satisfies the CO bounds within tolerance.
+func (s *Solver) feasible(co solver.CO, f objective.Point) bool {
+	for j := range f {
+		lo, hi := co.Lo[j], co.Hi[j]
+		span := hi - lo
+		if math.IsInf(lo, -1) || math.IsInf(hi, 1) {
+			span = math.Max(math.Abs(f[j]), 1)
+		}
+		tol := s.cfg.Tol * math.Max(span, 1e-12)
+		if !math.IsInf(lo, -1) && f[j] < lo-tol {
+			return false
+		}
+		if !math.IsInf(hi, 1) && f[j] > hi+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// lossAndGrad evaluates Eq. 3 and its (sub)gradient at x.
+func (s *Solver) lossAndGrad(co solver.CO, x []float64) (loss float64, grad []float64, f objective.Point) {
+	grad = make([]float64, s.dim)
+	f = s.evalAll(x)
+	for j := range f {
+		lo, hi := co.Lo[j], co.Hi[j]
+		bounded := !math.IsInf(lo, -1) && !math.IsInf(hi, 1) && hi > lo
+		var coeff float64 // dL/dFj (raw scale)
+		switch {
+		case bounded:
+			span := hi - lo
+			fn := (f[j] - lo) / span
+			switch {
+			case fn < 0 || fn > 1:
+				loss += (fn-0.5)*(fn-0.5) + s.cfg.Penalty
+				coeff = 2 * (fn - 0.5) / span
+			case j == co.Target:
+				loss += fn * fn
+				coeff = 2 * fn / span
+			}
+		case j == co.Target:
+			// Unconstrained target: plain minimization; Adam adapts scale.
+			loss += f[j]
+			coeff = 1
+		default:
+			// One-sided constraints: quadratic hinge outside the bound.
+			if !math.IsInf(lo, -1) && f[j] < lo {
+				d := lo - f[j]
+				loss += d*d + s.cfg.Penalty
+				coeff = -2 * d
+			}
+			if !math.IsInf(hi, 1) && f[j] > hi {
+				d := f[j] - hi
+				loss += d*d + s.cfg.Penalty
+				coeff = 2 * d
+			}
+		}
+		if coeff != 0 {
+			g := s.grads[j].Gradient(x)
+			for d := range grad {
+				grad[d] += coeff * g[d]
+			}
+		}
+	}
+	return loss, grad, f
+}
+
+// Solve runs multi-start Adam on the CO problem. The returned solution holds
+// the (rounded, when a Space is configured) configuration and its effective
+// objective values; ok is false when no start found a feasible point.
+func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
+	if len(co.Lo) != len(s.eff) || len(co.Hi) != len(s.eff) {
+		panic(fmt.Sprintf("mogd: CO bounds have %d/%d entries for %d objectives", len(co.Lo), len(co.Hi), len(s.eff)))
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ seed))
+	var best objective.Solution
+	bestVal := math.Inf(1)
+	found := false
+
+	for start := 0; start < s.cfg.Starts; start++ {
+		x := make([]float64, s.dim)
+		if start == 0 {
+			for d := range x {
+				x[d] = 0.5 // the default configuration x0
+			}
+		} else {
+			for d := range x {
+				x[d] = rng.Float64()
+			}
+		}
+		mAdam := make([]float64, s.dim)
+		vAdam := make([]float64, s.dim)
+		const b1, b2, eps = 0.9, 0.999, 1e-8
+		for it := 1; it <= s.cfg.Iters; it++ {
+			_, grad, f := s.lossAndGrad(co, x)
+			s.consider(co, x, f, &best, &bestVal, &found)
+			t := float64(it)
+			for d := range x {
+				g := grad[d]
+				mAdam[d] = b1*mAdam[d] + (1-b1)*g
+				vAdam[d] = b2*vAdam[d] + (1-b2)*g*g
+				step := s.cfg.LR * (mAdam[d] / (1 - math.Pow(b1, t))) / (math.Sqrt(vAdam[d]/(1-math.Pow(b2, t))) + eps)
+				// Clamp to the box: GD may push a variable to the boundary
+				// but never across it (paper §IV-B.1).
+				x[d] = clamp01(x[d] - step)
+			}
+		}
+		f := s.evalAll(x)
+		s.consider(co, x, f, &best, &bestVal, &found)
+	}
+	return best, found
+}
+
+// consider records x as the incumbent if it is feasible (after rounding to
+// the configuration lattice) and improves the target objective.
+func (s *Solver) consider(co solver.CO, x []float64, f objective.Point, best *objective.Solution, bestVal *float64, found *bool) {
+	xx := x
+	ff := f
+	if s.prob.Space != nil {
+		rx, err := s.prob.Space.Round(x)
+		if err != nil {
+			return
+		}
+		xx = rx
+		ff = s.evalAll(rx)
+	}
+	if !s.feasible(co, ff) {
+		return
+	}
+	if ff[co.Target] < *bestVal {
+		*bestVal = ff[co.Target]
+		xc := make([]float64, len(xx))
+		copy(xc, xx)
+		*best = objective.Solution{F: ff.Clone(), X: xc}
+		*found = true
+	}
+}
+
+// SolveBatch solves the CO problems concurrently with Config.Workers
+// goroutines — the l^k simultaneous probes of PF-AP (§IV-C). Results are in
+// input order.
+func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
+	out := make([]solver.Result, len(cos))
+	workers := s.cfg.Workers
+	if workers > len(cos) {
+		workers = len(cos)
+	}
+	if workers <= 1 {
+		for i, co := range cos {
+			sol, ok := s.Solve(co, seed+int64(i)*7919)
+			out[i] = solver.Result{Sol: sol, OK: ok}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				sol, ok := s.Solve(cos[i], seed+int64(i)*7919)
+				out[i] = solver.Result{Sol: sol, OK: ok}
+			}
+		}()
+	}
+	for i := range cos {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}
+
+// Minimize is the single-objective base case (§IV-B.1): minimize objective
+// target with no constraints beyond the [0,1]^D box.
+func (s *Solver) Minimize(target int, seed int64) (objective.Solution, bool) {
+	k := len(s.eff)
+	lo := make([]float64, k)
+	hi := make([]float64, k)
+	for j := range lo {
+		lo[j] = math.Inf(-1)
+		hi[j] = math.Inf(1)
+	}
+	return s.Solve(solver.CO{Target: target, Lo: lo, Hi: hi}, seed)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

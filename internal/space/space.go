@@ -1,0 +1,238 @@
+// Package space describes the decision-variable space of a tuning problem
+// and the variable transformation of the paper's MOGD solver (§IV-B step 1):
+// categorical parameters are one-hot encoded, all variables are normalized
+// to [0,1] and relaxed to continuous values, and solutions are mapped back by
+// rounding integers and taking the argmax of one-hot groups.
+//
+// Every model in this repository is trained on, and optimized over, the
+// encoded space; the Spark simulator and the recommendation output consume
+// decoded Values.
+package space
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// Kind enumerates variable types.
+type Kind int
+
+// Variable kinds, mirroring the paper's taxonomy of Spark parameters.
+const (
+	Continuous  Kind = iota // real-valued in [Min, Max]
+	Integer                 // integer-valued in [Min, Max]
+	Boolean                 // {false, true}, e.g. spark.shuffle.compress
+	Categorical             // one of Levels, one-hot encoded
+)
+
+// Var is a single decision variable (a "knob").
+type Var struct {
+	Name   string
+	Kind   Kind
+	Min    float64  // Continuous/Integer lower bound (inclusive)
+	Max    float64  // Continuous/Integer upper bound (inclusive)
+	Levels []string // Categorical levels
+	// Log requests log-scale normalization for Continuous/Integer variables
+	// whose range spans orders of magnitude (e.g. broadcast thresholds).
+	Log bool
+}
+
+// width returns the number of encoded dimensions the variable occupies.
+func (v Var) width() int {
+	if v.Kind == Categorical {
+		return len(v.Levels)
+	}
+	return 1
+}
+
+// Space is an ordered collection of variables with a fixed encoding layout.
+type Space struct {
+	Vars    []Var
+	offsets []int
+	dim     int
+}
+
+// New validates the variable definitions and computes the encoding layout.
+func New(vars []Var) (*Space, error) {
+	s := &Space{Vars: vars}
+	for i, v := range vars {
+		if v.Name == "" {
+			return nil, fmt.Errorf("space: variable %d has no name", i)
+		}
+		switch v.Kind {
+		case Continuous, Integer:
+			if v.Max < v.Min {
+				return nil, fmt.Errorf("space: %s has Max < Min", v.Name)
+			}
+			if v.Log && v.Min <= 0 {
+				return nil, fmt.Errorf("space: %s requests log scale with Min <= 0", v.Name)
+			}
+		case Boolean:
+		case Categorical:
+			if len(v.Levels) < 2 {
+				return nil, fmt.Errorf("space: %s needs at least 2 levels", v.Name)
+			}
+		default:
+			return nil, fmt.Errorf("space: %s has unknown kind %d", v.Name, v.Kind)
+		}
+		s.offsets = append(s.offsets, s.dim)
+		s.dim += v.width()
+	}
+	return s, nil
+}
+
+// MustNew is New for static variable tables; it panics on error.
+func MustNew(vars []Var) *Space {
+	s, err := New(vars)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Dim returns the encoded dimensionality D.
+func (s *Space) Dim() int { return s.dim }
+
+// NumVars returns the number of raw variables.
+func (s *Space) NumVars() int { return len(s.Vars) }
+
+// Value is a raw variable assignment: float for Continuous, integral float
+// for Integer, 0/1 for Boolean, level index for Categorical.
+type Value float64
+
+// Values is a full raw assignment, one entry per Var in order.
+type Values []Value
+
+// Encode maps a raw assignment to the normalized [0,1]^D solver space.
+func (s *Space) Encode(vals Values) ([]float64, error) {
+	if len(vals) != len(s.Vars) {
+		return nil, fmt.Errorf("space: Encode got %d values for %d variables", len(vals), len(s.Vars))
+	}
+	x := make([]float64, s.dim)
+	for i, v := range s.Vars {
+		off := s.offsets[i]
+		raw := float64(vals[i])
+		switch v.Kind {
+		case Continuous, Integer:
+			x[off] = s.normalize(v, raw)
+		case Boolean:
+			if raw != 0 && raw != 1 {
+				return nil, fmt.Errorf("space: %s boolean value %v not in {0,1}", v.Name, raw)
+			}
+			x[off] = raw
+		case Categorical:
+			idx := int(raw)
+			if float64(idx) != raw || idx < 0 || idx >= len(v.Levels) {
+				return nil, fmt.Errorf("space: %s categorical index %v out of range", v.Name, raw)
+			}
+			x[off+idx] = 1
+		}
+	}
+	return x, nil
+}
+
+func (s *Space) normalize(v Var, raw float64) float64 {
+	if v.Max == v.Min {
+		return 0
+	}
+	if v.Log {
+		return linalg.Clamp((math.Log(raw)-math.Log(v.Min))/(math.Log(v.Max)-math.Log(v.Min)), 0, 1)
+	}
+	return linalg.Clamp((raw-v.Min)/(v.Max-v.Min), 0, 1)
+}
+
+func (s *Space) denormalize(v Var, u float64) float64 {
+	u = linalg.Clamp(u, 0, 1)
+	if v.Log {
+		return math.Exp(math.Log(v.Min) + u*(math.Log(v.Max)-math.Log(v.Min)))
+	}
+	return v.Min + u*(v.Max-v.Min)
+}
+
+// Decode maps a point of the continuous solver space back to a valid raw
+// assignment: integers are rounded to the closest value, booleans snapped to
+// the nearer of {0,1}, and categorical groups resolved by argmax (§IV-B).
+func (s *Space) Decode(x []float64) (Values, error) {
+	if len(x) != s.dim {
+		return nil, fmt.Errorf("space: Decode got %d dims, want %d", len(x), s.dim)
+	}
+	vals := make(Values, len(s.Vars))
+	for i, v := range s.Vars {
+		off := s.offsets[i]
+		switch v.Kind {
+		case Continuous:
+			vals[i] = Value(s.denormalize(v, x[off]))
+		case Integer:
+			vals[i] = Value(math.Round(linalg.Clamp(s.denormalize(v, x[off]), v.Min, v.Max)))
+		case Boolean:
+			if x[off] >= 0.5 {
+				vals[i] = 1
+			} else {
+				vals[i] = 0
+			}
+		case Categorical:
+			best, bestV := 0, math.Inf(-1)
+			for j := 0; j < len(v.Levels); j++ {
+				if x[off+j] > bestV {
+					best, bestV = j, x[off+j]
+				}
+			}
+			vals[i] = Value(best)
+		}
+	}
+	return vals, nil
+}
+
+// Round snaps a continuous solver point onto the lattice of valid
+// configurations, returning the encoded form of Decode(x). PF's approximate
+// algorithms use this to evaluate objectives at the configuration that would
+// actually be deployed.
+func (s *Space) Round(x []float64) ([]float64, error) {
+	vals, err := s.Decode(x)
+	if err != nil {
+		return nil, err
+	}
+	return s.Encode(vals)
+}
+
+// Lookup returns the index of the named variable, or -1.
+func (s *Space) Lookup(name string) int {
+	for i, v := range s.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns the raw value of the named variable from vals.
+func (s *Space) Get(vals Values, name string) (float64, error) {
+	i := s.Lookup(name)
+	if i < 0 {
+		return 0, fmt.Errorf("space: unknown variable %q", name)
+	}
+	return float64(vals[i]), nil
+}
+
+// Describe formats a raw assignment as name=value pairs for logs and CLIs.
+func (s *Space) Describe(vals Values) string {
+	out := ""
+	for i, v := range s.Vars {
+		if i > 0 {
+			out += " "
+		}
+		switch v.Kind {
+		case Categorical:
+			out += fmt.Sprintf("%s=%s", v.Name, v.Levels[int(vals[i])])
+		case Boolean:
+			out += fmt.Sprintf("%s=%t", v.Name, vals[i] == 1)
+		case Integer:
+			out += fmt.Sprintf("%s=%d", v.Name, int(vals[i]))
+		default:
+			out += fmt.Sprintf("%s=%.4g", v.Name, float64(vals[i]))
+		}
+	}
+	return out
+}

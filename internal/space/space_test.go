@@ -1,0 +1,204 @@
+package space
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := New([]Var{
+		{Name: "executors", Kind: Integer, Min: 2, Max: 14},
+		{Name: "memFraction", Kind: Continuous, Min: 0.4, Max: 0.9},
+		{Name: "compress", Kind: Boolean},
+		{Name: "codec", Kind: Categorical, Levels: []string{"lz4", "snappy", "zstd"}},
+		{Name: "broadcastMB", Kind: Integer, Min: 1, Max: 100, Log: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDim(t *testing.T) {
+	s := testSpace(t)
+	// 1 + 1 + 1 + 3 + 1 = 7
+	if s.Dim() != 7 {
+		t.Fatalf("Dim = %d, want 7", s.Dim())
+	}
+	if s.NumVars() != 5 {
+		t.Fatalf("NumVars = %d, want 5", s.NumVars())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	cases := [][]Var{
+		{{Name: "", Kind: Continuous, Min: 0, Max: 1}},
+		{{Name: "x", Kind: Continuous, Min: 1, Max: 0}},
+		{{Name: "x", Kind: Categorical, Levels: []string{"only"}}},
+		{{Name: "x", Kind: Continuous, Min: 0, Max: 1, Log: true}},
+		{{Name: "x", Kind: Kind(99)}},
+	}
+	for i, vars := range cases {
+		if _, err := New(vars); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSpace(t)
+	vals := Values{8, 0.65, 1, 2, 10}
+	x, err := s.Encode(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Decode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(float64(vals[i]-back[i])) > 1e-9 {
+			t.Fatalf("round trip changed %s: %v -> %v", s.Vars[i].Name, vals[i], back[i])
+		}
+	}
+}
+
+// Property: Decode always produces a valid assignment for arbitrary x, and
+// Round is idempotent.
+func TestDecodeProperty(t *testing.T) {
+	s := testSpace(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, s.Dim())
+		for i := range x {
+			x[i] = rng.Float64()*2 - 0.5 // deliberately out of [0,1] sometimes
+		}
+		vals, err := s.Decode(x)
+		if err != nil {
+			return false
+		}
+		for i, v := range s.Vars {
+			raw := float64(vals[i])
+			switch v.Kind {
+			case Integer:
+				if raw != math.Round(raw) || raw < v.Min || raw > v.Max {
+					return false
+				}
+			case Continuous:
+				if raw < v.Min || raw > v.Max {
+					return false
+				}
+			case Boolean:
+				if raw != 0 && raw != 1 {
+					return false
+				}
+			case Categorical:
+				if int(raw) < 0 || int(raw) >= len(v.Levels) {
+					return false
+				}
+			}
+		}
+		r1, err := s.Round(x)
+		if err != nil {
+			return false
+		}
+		r2, err := s.Round(r1)
+		if err != nil {
+			return false
+		}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	s := testSpace(t)
+	if _, err := s.Encode(Values{1}); err == nil {
+		t.Fatal("expected length error")
+	}
+	if _, err := s.Encode(Values{8, 0.5, 0.5, 0, 10}); err == nil {
+		t.Fatal("expected boolean domain error")
+	}
+	if _, err := s.Encode(Values{8, 0.5, 0, 7, 10}); err == nil {
+		t.Fatal("expected categorical range error")
+	}
+	if _, err := s.Decode(make([]float64, 3)); err == nil {
+		t.Fatal("expected decode length error")
+	}
+}
+
+func TestLogScale(t *testing.T) {
+	s := MustNew([]Var{{Name: "x", Kind: Continuous, Min: 1, Max: 100, Log: true}})
+	x, _ := s.Encode(Values{10})
+	if math.Abs(x[0]-0.5) > 1e-12 {
+		t.Fatalf("log encode of 10 in [1,100] = %v, want 0.5", x[0])
+	}
+	back, _ := s.Decode([]float64{0.5})
+	if math.Abs(float64(back[0])-10) > 1e-9 {
+		t.Fatalf("log decode(0.5) = %v, want 10", back[0])
+	}
+}
+
+func TestCategoricalArgmax(t *testing.T) {
+	s := testSpace(t)
+	x, _ := s.Encode(Values{8, 0.65, 0, 0, 10})
+	// Perturb the one-hot group: snappy slightly ahead.
+	x[3], x[4], x[5] = 0.2, 0.9, 0.3
+	vals, _ := s.Decode(x)
+	if vals[3] != 1 {
+		t.Fatalf("argmax decode = %v, want 1 (snappy)", vals[3])
+	}
+}
+
+func TestLookupGetDescribe(t *testing.T) {
+	s := testSpace(t)
+	if s.Lookup("codec") != 3 || s.Lookup("nope") != -1 {
+		t.Fatal("Lookup wrong")
+	}
+	vals := Values{8, 0.65, 1, 2, 10}
+	v, err := s.Get(vals, "executors")
+	if err != nil || v != 8 {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	if _, err := s.Get(vals, "nope"); err == nil {
+		t.Fatal("expected error for unknown variable")
+	}
+	d := s.Describe(vals)
+	for _, want := range []string{"executors=8", "compress=true", "codec=zstd"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("Describe = %q missing %q", d, want)
+		}
+	}
+}
+
+func TestDegenerateRange(t *testing.T) {
+	s := MustNew([]Var{{Name: "fixed", Kind: Integer, Min: 5, Max: 5}})
+	x, err := s.Encode(Values{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, _ := s.Decode(x)
+	if back[0] != 5 {
+		t.Fatalf("degenerate decode = %v, want 5", back[0])
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew([]Var{{Name: "x", Kind: Continuous, Min: 1, Max: 0}})
+}

@@ -1,0 +1,238 @@
+package spark
+
+import (
+	"fmt"
+)
+
+// OpKind enumerates dataflow operator types, covering the mix the TPCx-BB
+// benchmark exercises: SQL relational operators, script/UDF transformations
+// (Fig. 1(b)'s ScriptTransformation), and ML training/scoring stages.
+type OpKind int
+
+// Operator kinds.
+const (
+	OpScan OpKind = iota
+	OpFilter
+	OpProject
+	OpExchange // shuffle boundary
+	OpSort
+	OpAggregate
+	OpJoin // two inputs; broadcast-eligible
+	OpUDF  // script transformation / user code
+	OpML   // iterative ML computation
+	OpLimit
+)
+
+var opKindNames = map[OpKind]string{
+	OpScan: "Scan", OpFilter: "Filter", OpProject: "Project",
+	OpExchange: "Exchange", OpSort: "Sort", OpAggregate: "Aggregate",
+	OpJoin: "Join", OpUDF: "UDF", OpML: "ML", OpLimit: "Limit",
+}
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	if n, ok := opKindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Operator is one node of a dataflow program.
+type Operator struct {
+	Kind OpKind
+	// Selectivity is output rows / input rows (1 for pass-through ops).
+	Selectivity float64
+	// CostPerRow is baseline CPU microseconds per input row.
+	CostPerRow float64
+	// MemPerRow is working-set bytes per input row (sorts, aggregates, ML).
+	MemPerRow float64
+	// Iterations multiplies CPU cost for iterative operators (OpML).
+	Iterations int
+	// Inputs are indices of upstream operators; must be < this op's index.
+	// Scans have none; Join has exactly two.
+	Inputs []int
+}
+
+// Dataflow is an analytic task: a DAG of operators over a source cardinality
+// (§II-A's "directed graph of data collections flowing between operations").
+type Dataflow struct {
+	Name string
+	Ops  []Operator
+	// InputRows is the cardinality of each Scan (scaled per workload).
+	InputRows float64
+	// RowBytes is the average width of a row in bytes.
+	RowBytes float64
+}
+
+// Validate checks the DAG's structural invariants.
+func (d *Dataflow) Validate() error {
+	if len(d.Ops) == 0 {
+		return fmt.Errorf("spark: dataflow %q has no operators", d.Name)
+	}
+	if d.InputRows <= 0 || d.RowBytes <= 0 {
+		return fmt.Errorf("spark: dataflow %q needs positive InputRows and RowBytes", d.Name)
+	}
+	for i, op := range d.Ops {
+		switch op.Kind {
+		case OpScan:
+			if len(op.Inputs) != 0 {
+				return fmt.Errorf("spark: %q op %d: Scan cannot have inputs", d.Name, i)
+			}
+		case OpJoin:
+			if len(op.Inputs) != 2 {
+				return fmt.Errorf("spark: %q op %d: Join needs exactly 2 inputs", d.Name, i)
+			}
+		default:
+			if len(op.Inputs) != 1 {
+				return fmt.Errorf("spark: %q op %d (%v): needs exactly 1 input", d.Name, i, op.Kind)
+			}
+		}
+		for _, in := range op.Inputs {
+			if in < 0 || in >= i {
+				return fmt.Errorf("spark: %q op %d: input %d out of order", d.Name, i, in)
+			}
+		}
+		if op.Selectivity < 0 {
+			return fmt.Errorf("spark: %q op %d: negative selectivity", d.Name, i)
+		}
+	}
+	return nil
+}
+
+// stage is a compiled pipeline of operators executed as one wave-scheduled
+// task set.
+type stage struct {
+	id        int
+	deps      []int   // upstream stage ids
+	inputRows float64 // rows entering the stage
+	outRows   float64 // rows leaving the stage
+	cpuPerRow float64 // accumulated CPU µs per input row
+	memPerRow float64 // peak working-set bytes per input row
+	// shuffleIn is true when the stage reads a shuffle (not a file scan).
+	shuffleIn bool
+	// broadcast is true when the stage performs a broadcast-join build
+	// instead of a shuffle exchange on its smaller side; broadcastMB is the
+	// size of the broadcast small side.
+	broadcast   bool
+	broadcastMB float64
+	// scanStage is true when the stage reads source data.
+	scanStage bool
+	// sortHeavy marks stages whose shuffle write needs merge sorting.
+	sortHeavy bool
+	// rdd marks stages dominated by RDD-level code (UDF/ML), whose reduce
+	// parallelism is governed by spark.default.parallelism rather than
+	// spark.sql.shuffle.partitions.
+	rdd bool
+}
+
+// compiled is the stage DAG of a dataflow under a given configuration
+// (broadcast decisions depend on the autoBroadcastJoinThreshold knob).
+type compiled struct {
+	stages []*stage
+}
+
+// compile splits the dataflow into stages at Exchange and Join boundaries.
+// broadcastMB is the auto-broadcast threshold; a join whose smaller input is
+// below it avoids shuffling the larger side.
+func (d *Dataflow) compile(broadcastMB float64) *compiled {
+	c := &compiled{}
+	// opStage[i] = stage carrying op i's output; opRows[i] = output rows.
+	opStage := make([]int, len(d.Ops))
+	opRows := make([]float64, len(d.Ops))
+
+	newStage := func(deps []int, inputRows float64, shuffleIn, scan bool) *stage {
+		s := &stage{id: len(c.stages), deps: deps, inputRows: inputRows, outRows: inputRows, shuffleIn: shuffleIn, scanStage: scan}
+		c.stages = append(c.stages, s)
+		return s
+	}
+
+	for i, op := range d.Ops {
+		switch op.Kind {
+		case OpScan:
+			s := newStage(nil, d.InputRows, false, true)
+			s.addOp(op)
+			opStage[i] = s.id
+			opRows[i] = s.outRows
+		case OpExchange:
+			up := opStage[op.Inputs[0]]
+			// Exchange writes on the upstream stage, new stage reads.
+			s := newStage([]int{up}, opRows[op.Inputs[0]], true, false)
+			s.addOp(op)
+			opStage[i] = s.id
+			opRows[i] = s.outRows
+		case OpJoin:
+			left, right := op.Inputs[0], op.Inputs[1]
+			smallRows := opRows[right]
+			bigIn := left
+			if opRows[left] < smallRows {
+				smallRows = opRows[left]
+				bigIn = right
+			}
+			smallMB := smallRows * d.RowBytes / (1 << 20)
+			if smallMB <= broadcastMB {
+				// Broadcast join: continue the big side's stage; the small
+				// side is broadcast to every executor.
+				s := c.stages[opStage[bigIn]]
+				s.broadcast = true
+				s.broadcastMB += smallMB
+				s.addOp(op)
+				opStage[i] = s.id
+				opRows[i] = s.outRows
+			} else {
+				// Shuffle join: both sides exchange into a fresh stage.
+				rows := opRows[left] + opRows[right]
+				s := newStage([]int{opStage[left], opStage[right]}, rows, true, false)
+				s.sortHeavy = true
+				s.addOp(op)
+				opStage[i] = s.id
+				opRows[i] = s.outRows
+			}
+		default:
+			s := c.stages[opStage[op.Inputs[0]]]
+			if op.Kind == OpSort {
+				s.sortHeavy = true
+			}
+			s.addOp(op)
+			opStage[i] = s.id
+			opRows[i] = s.outRows
+		}
+	}
+	return c
+}
+
+// addOp folds an operator into the stage's per-row cost model.
+func (s *stage) addOp(op Operator) {
+	// Cost applies to the rows flowing into this operator, expressed per
+	// stage-input row via the ratio outRows/inputRows accumulated so far.
+	ratio := 1.0
+	if s.inputRows > 0 {
+		ratio = s.outRows / s.inputRows
+	}
+	iter := 1.0
+	if op.Iterations > 1 {
+		iter = float64(op.Iterations)
+	}
+	if op.Kind == OpUDF || op.Kind == OpML {
+		s.rdd = true
+	}
+	s.cpuPerRow += op.CostPerRow * ratio * iter
+	if m := op.MemPerRow * ratio; m > s.memPerRow {
+		s.memPerRow = m
+	}
+	if op.Selectivity > 0 {
+		s.outRows *= op.Selectivity
+	}
+}
+
+// Chain is a convenience constructor for linear dataflows: each operator
+// consumes the previous one.
+func Chain(name string, inputRows, rowBytes float64, ops ...Operator) *Dataflow {
+	df := &Dataflow{Name: name, InputRows: inputRows, RowBytes: rowBytes}
+	for i, op := range ops {
+		if op.Kind != OpScan {
+			op.Inputs = []int{i - 1}
+		}
+		df.Ops = append(df.Ops, op)
+	}
+	return df
+}

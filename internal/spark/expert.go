@@ -1,0 +1,56 @@
+package spark
+
+import (
+	"math"
+
+	"repro/internal/space"
+)
+
+// ExpertConfig stands in for the paper's Expt-5 baseline: "a manual
+// configuration chosen by an expert engineer". It encodes widely published
+// Spark sizing heuristics: moderate executors with the maximum sane cores
+// per executor, memory sized to the input partitioned per core with
+// headroom, parallelism at 2–3× the total cores, shuffle compression on, and
+// shuffle partitions matched to the data volume.
+func ExpertConfig(spc *space.Space, df *Dataflow) space.Values {
+	vals := make(space.Values, spc.NumVars())
+	set := func(name string, v float64) {
+		if i := spc.Lookup(name); i >= 0 {
+			// Clamp onto the variable's domain.
+			va := spc.Vars[i]
+			switch va.Kind {
+			case space.Integer:
+				v = math.Round(math.Min(va.Max, math.Max(va.Min, v)))
+			case space.Continuous:
+				v = math.Min(va.Max, math.Max(va.Min, v))
+			}
+			vals[i] = space.Value(v)
+		}
+	}
+	inputGB := df.InputRows * df.RowBytes / (1 << 30)
+	// Size the cluster to the data: ~1 executor per 2 GB, within bounds.
+	executors := math.Ceil(inputGB / 2)
+	if executors < 4 {
+		executors = 4
+	}
+	cores := 4.0 // "5 cores per executor" folklore, capped by the space
+	totalCores := executors * cores
+	set(KnobInstances, executors)
+	set(KnobCores, cores)
+	// Memory: working set per core with 50% headroom.
+	set(KnobMemory, math.Ceil(inputGB*1.5/executors)+2)
+	set(KnobParallelism, 2.5*totalCores)
+	set(KnobShufflePart, math.Max(64, 8*inputGB))
+	set(KnobCompress, 1)
+	set(KnobMemFraction, 0.6)
+	set(KnobMaxSizeInFlight, 96)
+	set(KnobBypassMerge, 200)
+	set(KnobBatchSize, 10000)
+	set(KnobMaxPartition, 128)
+	set(KnobBroadcast, 10)
+	// Streaming knobs, when present.
+	set(KnobBatchInterval, 5)
+	set(KnobBlockInterval, 200)
+	set(KnobInputRate, 100_000)
+	return vals
+}

@@ -1,0 +1,160 @@
+package spark
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/space"
+)
+
+// TestRunWellFormedOnRandomConfigs: for any valid configuration of any
+// workload shape, the simulator yields finite, positive, self-consistent
+// metrics — the contract the trace pipeline and models depend on.
+func TestRunWellFormedOnRandomConfigs(t *testing.T) {
+	spc := BatchSpace()
+	cl := DefaultCluster()
+	flows := []*Dataflow{
+		testFlow(1e6),
+		testFlow(2e7),
+		Chain("udfy", 3e6, 150,
+			Operator{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+			Operator{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1},
+			Operator{Kind: OpUDF, Selectivity: 0.5, CostPerRow: 6, MemPerRow: 120},
+		),
+		Chain("mly", 1e6, 100,
+			Operator{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+			Operator{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1},
+			Operator{Kind: OpML, Selectivity: 0.001, CostPerRow: 2, MemPerRow: 200, Iterations: 10},
+		),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, spc.Dim())
+		for d := range x {
+			x[d] = rng.Float64()
+		}
+		conf, err := spc.Decode(x)
+		if err != nil {
+			return false
+		}
+		df := flows[rng.Intn(len(flows))]
+		m, err := Run(df, spc, conf, cl, seed)
+		if err != nil {
+			return false
+		}
+		if !(m.LatencySec > 0) || math.IsInf(m.LatencySec, 0) || math.IsNaN(m.LatencySec) {
+			return false
+		}
+		if m.Cores < 1 || m.Cores > 56 {
+			return false
+		}
+		if m.CPUUtil < 0 || m.CPUUtil > 1 {
+			return false
+		}
+		if m.IOMB < df.InputRows*df.RowBytes/(1<<20)-1e-6 {
+			return false // IO must at least cover the scan
+		}
+		if math.Abs(m.CPUHour-m.Cores*m.LatencySec/3600) > 1e-9 {
+			return false
+		}
+		for _, v := range m.TraceVector() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompileInvariants: stage compilation preserves structural invariants
+// for arbitrary broadcast thresholds.
+func TestCompileInvariants(t *testing.T) {
+	dfJoin := &Dataflow{Name: "inv", InputRows: 4e6, RowBytes: 100, Ops: []Operator{
+		{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+		{Kind: OpFilter, Selectivity: 0.4, CostPerRow: 0.2, Inputs: []int{0}},
+		{Kind: OpScan, Selectivity: 0.01},
+		{Kind: OpJoin, Selectivity: 0.9, CostPerRow: 0.8, MemPerRow: 48, Inputs: []int{1, 2}},
+		{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1, Inputs: []int{3}},
+		{Kind: OpAggregate, Selectivity: 0.01, CostPerRow: 0.5, MemPerRow: 64, Inputs: []int{4}},
+	}}
+	f := func(rawThreshold float64) bool {
+		threshold := math.Abs(math.Mod(rawThreshold, 200))
+		c := dfJoin.compile(threshold)
+		if len(c.stages) == 0 {
+			return false
+		}
+		for i, st := range c.stages {
+			if st.id != i {
+				return false
+			}
+			if st.inputRows <= 0 || st.outRows < 0 || st.cpuPerRow < 0 {
+				return false
+			}
+			for _, dep := range st.deps {
+				if dep < 0 || dep >= st.id {
+					return false // DAG must be topologically ordered
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoiseBounded: the stochastic component stays within a plausible band
+// so the "measured" values behave like the paper's cluster variance.
+func TestNoiseBounded(t *testing.T) {
+	spc := BatchSpace()
+	conf := DefaultBatchConf(spc)
+	df := testFlow(5e6)
+	cl := DefaultCluster()
+	base, _ := Run(df, spc, conf, cl, 0)
+	var lo, hi float64 = math.Inf(1), math.Inf(-1)
+	for seed := int64(1); seed <= 60; seed++ {
+		m, err := Run(df, spc, conf, cl, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo = math.Min(lo, m.LatencySec)
+		hi = math.Max(hi, m.LatencySec)
+	}
+	if hi/lo > 2 {
+		t.Fatalf("noise spread too large: [%v, %v]", lo, hi)
+	}
+	if hi == lo {
+		t.Fatal("noise has no effect across seeds")
+	}
+	_ = base
+}
+
+// TestExpertBeatsWorstConfig: the expert heuristic must comfortably beat a
+// deliberately bad configuration on a sizable job.
+func TestExpertBeatsWorstConfig(t *testing.T) {
+	spc := BatchSpace()
+	df := testFlow(3e7)
+	cl := DefaultCluster()
+	cl.NoiseStd = 1e-12
+	bad := DefaultBatchConf(spc)
+	bad[spc.Lookup(KnobInstances)] = space.Value(2)
+	bad[spc.Lookup(KnobCores)] = space.Value(1)
+	bad[spc.Lookup(KnobMemory)] = space.Value(1)
+	expert := ExpertConfig(spc, df)
+	mBad, err := Run(df, spc, bad, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mExp, err := Run(df, spc, expert, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mExp.LatencySec >= mBad.LatencySec {
+		t.Fatalf("expert (%v s) not faster than 2-core config (%v s)", mExp.LatencySec, mBad.LatencySec)
+	}
+}

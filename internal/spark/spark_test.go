@@ -1,0 +1,285 @@
+package spark
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/space"
+)
+
+// testFlow is a representative scan→exchange→aggregate job.
+func testFlow(rows float64) *Dataflow {
+	return Chain("test", rows, 100,
+		Operator{Kind: OpScan, Selectivity: 1, CostPerRow: 1},
+		Operator{Kind: OpFilter, Selectivity: 0.3, CostPerRow: 0.2},
+		Operator{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1},
+		Operator{Kind: OpAggregate, Selectivity: 0.01, CostPerRow: 0.5, MemPerRow: 64},
+		Operator{Kind: OpSort, Selectivity: 1, CostPerRow: 0.3, MemPerRow: 32},
+	)
+}
+
+func runWith(t *testing.T, df *Dataflow, mutate func(*space.Space, space.Values)) Metrics {
+	t.Helper()
+	return runOn(t, df, DefaultCluster(), mutate)
+}
+
+// runQuiet disables the stochastic noise so shape assertions compare pure
+// model structure.
+func runQuiet(t *testing.T, df *Dataflow, mutate func(*space.Space, space.Values)) Metrics {
+	t.Helper()
+	cl := DefaultCluster()
+	cl.NoiseStd = 1e-12
+	return runOn(t, df, cl, mutate)
+}
+
+func runOn(t *testing.T, df *Dataflow, cl Cluster, mutate func(*space.Space, space.Values)) Metrics {
+	t.Helper()
+	spc := BatchSpace()
+	conf := DefaultBatchConf(spc)
+	if mutate != nil {
+		mutate(spc, conf)
+	}
+	m, err := Run(df, spc, conf, cl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func setKnob(t *testing.T, spc *space.Space, conf space.Values, name string, v float64) {
+	t.Helper()
+	i := spc.Lookup(name)
+	if i < 0 {
+		t.Fatalf("unknown knob %s", name)
+	}
+	conf[i] = space.Value(v)
+}
+
+func TestValidate(t *testing.T) {
+	bad := &Dataflow{Name: "x", InputRows: 10, RowBytes: 10,
+		Ops: []Operator{{Kind: OpFilter, Selectivity: 1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("filter without input should fail validation")
+	}
+	empty := &Dataflow{Name: "e", InputRows: 1, RowBytes: 1}
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty dataflow should fail")
+	}
+	join := &Dataflow{Name: "j", InputRows: 10, RowBytes: 10, Ops: []Operator{
+		{Kind: OpScan, Selectivity: 1},
+		{Kind: OpJoin, Selectivity: 1, Inputs: []int{0}},
+	}}
+	if err := join.Validate(); err == nil {
+		t.Fatal("join with one input should fail")
+	}
+	if err := testFlow(1e6).Validate(); err != nil {
+		t.Fatalf("valid flow rejected: %v", err)
+	}
+}
+
+func TestLatencyFallsWithCores(t *testing.T) {
+	df := testFlow(5e6)
+	small := runWith(t, df, func(s *space.Space, c space.Values) {
+		setKnob(t, s, c, KnobInstances, 2)
+		setKnob(t, s, c, KnobCores, 1)
+	})
+	large := runWith(t, df, func(s *space.Space, c space.Values) {
+		setKnob(t, s, c, KnobInstances, 14)
+		setKnob(t, s, c, KnobCores, 4)
+	})
+	if large.LatencySec >= small.LatencySec {
+		t.Fatalf("latency should fall with cores: 2 cores %v, 56 cores %v", small.LatencySec, large.LatencySec)
+	}
+	if large.Cores != 56 || small.Cores != 2 {
+		t.Fatalf("cores objective wrong: %v %v", large.Cores, small.Cores)
+	}
+}
+
+func TestDiminishingReturns(t *testing.T) {
+	df := testFlow(5e6)
+	lat := func(inst, cores float64) float64 {
+		return runQuiet(t, df, func(s *space.Space, c space.Values) {
+			setKnob(t, s, c, KnobInstances, inst)
+			setKnob(t, s, c, KnobCores, cores)
+		}).LatencySec
+	}
+	gain1 := lat(2, 2) - lat(4, 2)  // 4 -> 8 cores
+	gain2 := lat(7, 4) - lat(14, 4) // 28 -> 56 cores
+	if gain2 >= gain1 {
+		t.Fatalf("expected diminishing returns: first doubling saves %v, last %v", gain1, gain2)
+	}
+}
+
+func TestMemoryPressureSpills(t *testing.T) {
+	// A memory-hungry aggregate with scarce executor memory must spill.
+	df := Chain("memhog", 8e6, 100,
+		Operator{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+		Operator{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1},
+		Operator{Kind: OpAggregate, Selectivity: 0.5, CostPerRow: 0.5, MemPerRow: 600},
+	)
+	tight := runQuiet(t, df, func(s *space.Space, c space.Values) {
+		setKnob(t, s, c, KnobMemory, 1)
+		setKnob(t, s, c, KnobShufflePart, 8)
+	})
+	roomy := runQuiet(t, df, func(s *space.Space, c space.Values) {
+		setKnob(t, s, c, KnobMemory, 16)
+		setKnob(t, s, c, KnobShufflePart, 8)
+	})
+	if tight.SpillMB <= roomy.SpillMB {
+		t.Fatalf("tight memory should spill more: %v vs %v MB", tight.SpillMB, roomy.SpillMB)
+	}
+	if tight.LatencySec <= roomy.LatencySec {
+		t.Fatalf("spilling should be slower: %v vs %v s", tight.LatencySec, roomy.LatencySec)
+	}
+}
+
+func TestCompressionTradesCPUForNetwork(t *testing.T) {
+	df := testFlow(5e6)
+	on := runQuiet(t, df, func(s *space.Space, c space.Values) { setKnob(t, s, c, KnobCompress, 1) })
+	off := runQuiet(t, df, func(s *space.Space, c space.Values) { setKnob(t, s, c, KnobCompress, 0) })
+	if on.NetMB >= off.NetMB {
+		t.Fatalf("compression should reduce network: %v vs %v MB", on.NetMB, off.NetMB)
+	}
+	if on.FetchWaitSec >= off.FetchWaitSec {
+		t.Fatalf("compression should reduce fetch wait: %v vs %v", on.FetchWaitSec, off.FetchWaitSec)
+	}
+}
+
+func TestParallelismSweetSpot(t *testing.T) {
+	// A UDF-heavy flow keyed to spark.default.parallelism: too few tasks
+	// underuse cores, too many pay scheduling overhead.
+	df := Chain("udf", 2e6, 100,
+		Operator{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+		Operator{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1},
+		Operator{Kind: OpUDF, Selectivity: 1, CostPerRow: 5},
+	)
+	lat := func(p float64) float64 {
+		return runQuiet(t, df, func(s *space.Space, c space.Values) {
+			setKnob(t, s, c, KnobParallelism, p)
+		}).LatencySec
+	}
+	low, mid, high := lat(8), lat(64), lat(320)
+	if mid >= low || mid >= high {
+		t.Fatalf("expected interior parallelism optimum: lat(8)=%v lat(64)=%v lat(320)=%v", low, mid, high)
+	}
+}
+
+func TestMemoryFractionInteriorOptimum(t *testing.T) {
+	df := Chain("frac", 8e6, 100,
+		Operator{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+		Operator{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1},
+		Operator{Kind: OpAggregate, Selectivity: 0.5, CostPerRow: 0.8, MemPerRow: 250},
+	)
+	lat := func(f float64) float64 {
+		return runQuiet(t, df, func(s *space.Space, c space.Values) {
+			setKnob(t, s, c, KnobMemFraction, f)
+			setKnob(t, s, c, KnobMemory, 2)
+			setKnob(t, s, c, KnobShufflePart, 16)
+		}).LatencySec
+	}
+	low, mid, high := lat(0.4), lat(0.7), lat(0.9)
+	if mid >= low || mid >= high {
+		t.Fatalf("expected interior memory.fraction optimum: 0.4=%v 0.7=%v 0.9=%v", low, mid, high)
+	}
+}
+
+func TestBroadcastJoinBeatsShuffleJoin(t *testing.T) {
+	// Join against a tiny dimension table: with a generous broadcast
+	// threshold the big side is not shuffled.
+	join := func(broadcastMB float64) Metrics {
+		df := &Dataflow{Name: "join", InputRows: 5e6, RowBytes: 100, Ops: []Operator{
+			{Kind: OpScan, Selectivity: 1, CostPerRow: 0.5},
+			{Kind: OpScan, Selectivity: 0.001},
+			{Kind: OpJoin, Selectivity: 1, CostPerRow: 0.8, MemPerRow: 48, Inputs: []int{0, 1}},
+			{Kind: OpExchange, Selectivity: 1, CostPerRow: 0.1, Inputs: []int{2}},
+			{Kind: OpAggregate, Selectivity: 0.01, CostPerRow: 0.5, MemPerRow: 64, Inputs: []int{3}},
+		}}
+		return runQuiet(t, df, func(s *space.Space, c space.Values) {
+			setKnob(t, s, c, KnobBroadcast, broadcastMB)
+		})
+	}
+	bc := join(100)
+	sj := join(1) // threshold too small: shuffle join
+	if bc.LatencySec >= sj.LatencySec {
+		t.Fatalf("broadcast join should be faster: %v vs %v", bc.LatencySec, sj.LatencySec)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	df := testFlow(3e6)
+	a := runWith(t, df, nil)
+	b := runWith(t, df, nil)
+	if a.LatencySec != b.LatencySec || a.IOMB != b.IOMB {
+		t.Fatal("same (flow, conf, seed) must be deterministic")
+	}
+	// Different seed gives (slightly) different noise.
+	spc := BatchSpace()
+	conf := DefaultBatchConf(spc)
+	c, _ := Run(df, spc, conf, DefaultCluster(), 2)
+	if c.LatencySec == a.LatencySec {
+		t.Fatal("different seed should perturb the run")
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	df := testFlow(5e6)
+	m := runWith(t, df, nil)
+	if m.LatencySec <= 0 || m.Cores <= 0 {
+		t.Fatalf("bad metrics: %+v", m)
+	}
+	if math.Abs(m.CPUHour-m.Cores*m.LatencySec/3600) > 1e-9 {
+		t.Fatalf("CPUHour inconsistent: %v", m.CPUHour)
+	}
+	if m.CPUUtil < 0 || m.CPUUtil > 1 {
+		t.Fatalf("CPUUtil out of range: %v", m.CPUUtil)
+	}
+	if len(m.Stages) == 0 || len(m.TraceVector()) != 10+traceStages*6 {
+		t.Fatal("missing stage metrics or trace vector")
+	}
+	if m.Cost2() <= 0 {
+		t.Fatal("Cost2 must be positive")
+	}
+}
+
+func TestRunRejectsInvalidFlow(t *testing.T) {
+	bad := &Dataflow{Name: "bad", InputRows: 0, RowBytes: 0}
+	spc := BatchSpace()
+	if _, err := Run(bad, spc, DefaultBatchConf(spc), DefaultCluster(), 1); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestExpertConfigIsValid(t *testing.T) {
+	spc := BatchSpace()
+	df := testFlow(5e6)
+	conf := ExpertConfig(spc, df)
+	if _, err := spc.Encode(conf); err != nil {
+		t.Fatalf("expert config not encodable: %v", err)
+	}
+	m, err := Run(df, spc, conf, DefaultCluster(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The expert beats the default configuration on latency for a sizable job.
+	def := runWith(t, df, nil)
+	if m.LatencySec >= def.LatencySec*1.5 {
+		t.Fatalf("expert config much worse than default: %v vs %v", m.LatencySec, def.LatencySec)
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpScan.String() != "Scan" || OpKind(99).String() == "" {
+		t.Fatal("OpKind.String broken")
+	}
+}
+
+func TestDefaultConfsEncode(t *testing.T) {
+	b := BatchSpace()
+	if _, err := b.Encode(DefaultBatchConf(b)); err != nil {
+		t.Fatal(err)
+	}
+	s := StreamSpace()
+	if _, err := s.Encode(DefaultStreamConf(s)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/space"
+	"repro/internal/spark"
+)
+
+func testSpaceAndRunner(t *testing.T) (*space.Space, Runner) {
+	t.Helper()
+	spc := spark.BatchSpace()
+	df := spark.Chain("trace-test", 2e6, 100,
+		spark.Operator{Kind: spark.OpScan, Selectivity: 1, CostPerRow: 1},
+		spark.Operator{Kind: spark.OpExchange, Selectivity: 1, CostPerRow: 0.1},
+		spark.Operator{Kind: spark.OpAggregate, Selectivity: 0.01, CostPerRow: 0.5, MemPerRow: 64},
+	)
+	cl := spark.DefaultCluster()
+	run := func(conf space.Values, seed int64) (map[string]float64, []float64, error) {
+		m, err := spark.Run(df, spc, conf, cl, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return map[string]float64{"latency": m.LatencySec, "cores": m.Cores}, m.TraceVector(), nil
+	}
+	return spc, run
+}
+
+func TestStoreBasics(t *testing.T) {
+	st := NewStore()
+	if st.Len() != 0 {
+		t.Fatal("new store not empty")
+	}
+	st.Add(Entry{Workload: "a", Objectives: map[string]float64{"latency": 1}})
+	st.Add(Entry{Workload: "b"})
+	st.Add(Entry{Workload: "a"})
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if got := st.ForWorkload("a"); len(got) != 2 {
+		t.Fatalf("ForWorkload(a) = %d entries", len(got))
+	}
+	ws := st.Workloads()
+	if len(ws) != 2 || ws[0] != "a" || ws[1] != "b" {
+		t.Fatalf("Workloads = %v", ws)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	st := NewStore()
+	st.Add(Entry{Workload: "w", Conf: space.Values{1, 2}, X: []float64{0.1, 0.2},
+		Objectives: map[string]float64{"latency": 3.5}, Metrics: []float64{1, 2, 3}})
+	path := filepath.Join(t.TempDir(), "traces.json")
+	if err := st.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.ForWorkload("w")
+	if len(got) != 1 || got[0].Objectives["latency"] != 3.5 || got[0].X[1] != 0.2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestHeuristicSample(t *testing.T) {
+	spc, _ := testSpaceAndRunner(t)
+	rng := rand.New(rand.NewSource(1))
+	confs, err := HeuristicSample(spc, spark.DefaultBatchConf(spc), 40, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(confs) != 40 {
+		t.Fatalf("samples = %d", len(confs))
+	}
+	// All samples must be valid lattice points.
+	distinct := map[string]bool{}
+	for _, c := range confs {
+		if _, err := spc.Encode(c); err != nil {
+			t.Fatalf("invalid sample: %v", err)
+		}
+		distinct[spc.Describe(c)] = true
+	}
+	if len(distinct) < 30 {
+		t.Fatalf("samples not diverse: %d distinct of 40", len(distinct))
+	}
+}
+
+func TestCollect(t *testing.T) {
+	spc, run := testSpaceAndRunner(t)
+	st := NewStore()
+	rng := rand.New(rand.NewSource(2))
+	confs, _ := HeuristicSample(spc, spark.DefaultBatchConf(spc), 10, rng)
+	if err := Collect(st, spc, "w0", confs, run, 1); err != nil {
+		t.Fatal(err)
+	}
+	entries := st.ForWorkload("w0")
+	if len(entries) != 10 {
+		t.Fatalf("collected %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if e.Objectives["latency"] <= 0 || len(e.X) != spc.Dim() || len(e.Metrics) == 0 {
+			t.Fatalf("bad entry: %+v", e)
+		}
+	}
+}
+
+func TestBOSampleImprovesOnRandom(t *testing.T) {
+	spc, run := testSpaceAndRunner(t)
+	st := NewStore()
+	rng := rand.New(rand.NewSource(3))
+	confs, _ := HeuristicSample(spc, spark.DefaultBatchConf(spc), 12, rng)
+	if err := Collect(st, spc, "w0", confs, run, 1); err != nil {
+		t.Fatal(err)
+	}
+	seedBest := math.Inf(1)
+	for _, e := range st.ForWorkload("w0") {
+		if v := e.Objectives["latency"]; v < seedBest {
+			seedBest = v
+		}
+	}
+	if err := BOSample(st, spc, "w0", "latency", run, 8, rng); err != nil {
+		t.Fatal(err)
+	}
+	entries := st.ForWorkload("w0")
+	if len(entries) != 20 {
+		t.Fatalf("entries after BO = %d", len(entries))
+	}
+	boBest := math.Inf(1)
+	for _, e := range entries[12:] {
+		if v := e.Objectives["latency"]; v < boBest {
+			boBest = v
+		}
+	}
+	// BO should at least approach the random best (it optimizes latency).
+	if boBest > seedBest*1.5 {
+		t.Fatalf("BO samples all poor: best %v vs seed best %v", boBest, seedBest)
+	}
+}
+
+func TestBOSampleNeedsSeeds(t *testing.T) {
+	spc, run := testSpaceAndRunner(t)
+	st := NewStore()
+	rng := rand.New(rand.NewSource(4))
+	if err := BOSample(st, spc, "w0", "latency", run, 1, rng); err == nil {
+		t.Fatal("expected error without seed entries")
+	}
+}
+
+func TestExpectedImprovement(t *testing.T) {
+	// Certain improvement: mu below best with tiny sigma.
+	if ei := expectedImprovement(10, 8, 1e-15); math.Abs(ei-2) > 1e-9 {
+		t.Fatalf("EI = %v, want 2", ei)
+	}
+	// No improvement possible: mu above best, sigma 0.
+	if ei := expectedImprovement(10, 12, 1e-15); ei != 0 {
+		t.Fatalf("EI = %v, want 0", ei)
+	}
+	// Uncertainty creates positive EI even above best.
+	if ei := expectedImprovement(10, 12, 5); ei <= 0 {
+		t.Fatalf("EI = %v, want > 0", ei)
+	}
+}

@@ -1,0 +1,322 @@
+package udao
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/objective"
+	"repro/internal/recommend"
+	"repro/internal/solver"
+	"repro/internal/solver/exact"
+	"repro/internal/solver/mogd"
+)
+
+// Model predicts one objective from an encoded configuration; Gaussian
+// processes, DNNs and plain functions from the internal model packages all
+// satisfy it.
+type Model = model.Model
+
+// Objective couples a task objective with its predictive model Ψ and
+// optional value constraints Fᵢ ∈ [Lower, Upper] (§II-B).
+type Objective struct {
+	// Name identifies the objective ("latency", "cost", ...).
+	Name string
+	// Model is the predictive model Ψᵢ(x) from the model server.
+	Model Model
+	// Maximize marks objectives that favor larger values (e.g. throughput);
+	// they are negated internally per Problem III.1.
+	Maximize bool
+	// Lower and Upper are optional value constraints; zero values mean
+	// unconstrained (use math.Inf for explicit infinities).
+	Lower, Upper float64
+}
+
+// Algorithm selects the Progressive Frontier variant.
+type Algorithm int
+
+// Progressive Frontier variants (§IV).
+const (
+	// PFAP is the approximate parallel algorithm — the paper's default and
+	// best performer.
+	PFAP Algorithm = iota
+	// PFAS is the approximate sequential algorithm.
+	PFAS
+	// PFS is the deterministic sequential algorithm with the near-exact
+	// (Knitro-stand-in) solver; slow but reproducible.
+	PFS
+)
+
+// Strategy selects how a configuration is recommended from the frontier
+// (§V, Appendix B).
+type Strategy int
+
+// Recommendation strategies.
+const (
+	// WUN is Weighted Utopia Nearest (the paper's default).
+	WUN Strategy = iota
+	// UN is (unweighted) Utopia Nearest.
+	UN
+	// SLL and SLR are Slope Maximization anchored left/right (2D only).
+	SLL
+	SLR
+	// KPL and KPR are Knee Point anchored left/right (2D only).
+	KPL
+	KPR
+)
+
+// Options tunes the optimizer.
+type Options struct {
+	// Algorithm selects the PF variant (default PFAP).
+	Algorithm Algorithm
+	// Probes is the Pareto-point budget M (default 30).
+	Probes int
+	// TimeBudget stops frontier computation after this duration (the
+	// paper's "a few seconds" requirement); zero means unlimited.
+	TimeBudget time.Duration
+	// Grid is PF-AP's per-dimension grid degree l (default 2).
+	Grid int
+	// Alpha is the model-uncertainty multiplier for F̃ = E[F] + α·std[F]
+	// (§IV-B.3); zero uses plain means.
+	Alpha float64
+	// Starts and Iters tune the MOGD solver's multi-start gradient descent.
+	Starts, Iters int
+	// WorkloadClass, when set together with the WUN strategy, enables the
+	// workload-aware internal weights of §V.
+	WorkloadClass *recommend.WorkloadClass
+	// Seed drives all randomized components.
+	Seed int64
+	// OnProgress receives frontier-progress snapshots.
+	OnProgress func(core.Snapshot)
+}
+
+// Plan is one Pareto-optimal configuration with its predicted objective
+// values (in the user's orientation: throughput reported positive).
+type Plan struct {
+	Config     Values
+	X          []float64 // encoded configuration
+	Objectives map[string]float64
+}
+
+// Optimizer computes Pareto frontiers and recommendations for one task.
+type Optimizer struct {
+	spc      *Space
+	objs     []Objective
+	opt      Options
+	run      *core.Run
+	frontier []objective.Solution
+}
+
+// NewOptimizer validates the task and builds an optimizer.
+func NewOptimizer(spc *Space, objs []Objective, opt Options) (*Optimizer, error) {
+	if spc == nil {
+		return nil, errors.New("udao: nil space")
+	}
+	if len(objs) < 1 {
+		return nil, errors.New("udao: need at least one objective")
+	}
+	for i, o := range objs {
+		if o.Model == nil {
+			return nil, fmt.Errorf("udao: objective %q has no model", o.Name)
+		}
+		if o.Model.Dim() != spc.Dim() {
+			return nil, fmt.Errorf("udao: objective %q model dim %d != space dim %d (objective %d)", o.Name, o.Model.Dim(), spc.Dim(), i)
+		}
+	}
+	return &Optimizer{spc: spc, objs: objs, opt: opt}, nil
+}
+
+// models returns the minimization-oriented models.
+func (o *Optimizer) models() []model.Model {
+	ms := make([]model.Model, len(o.objs))
+	for i, obj := range o.objs {
+		if obj.Maximize {
+			ms[i] = model.Negated{M: obj.Model}
+		} else {
+			ms[i] = obj.Model
+		}
+	}
+	return ms
+}
+
+// bounds converts the per-objective constraints into minimization space.
+func (o *Optimizer) bounds() (lower, upper objective.Point) {
+	lower = make(objective.Point, len(o.objs))
+	upper = make(objective.Point, len(o.objs))
+	for i, obj := range o.objs {
+		lo, hi := obj.Lower, obj.Upper
+		if lo == 0 && hi == 0 {
+			lo, hi = math.Inf(-1), math.Inf(1)
+		}
+		if obj.Maximize {
+			lo, hi = -hi, -lo
+			if lo == 0 && hi == 0 {
+				lo, hi = math.Inf(-1), math.Inf(1)
+			}
+		}
+		lower[i], upper[i] = lo, hi
+	}
+	return lower, upper
+}
+
+// ParetoFrontier computes the Pareto-optimal set with the configured probe
+// budget on first use and returns the cached frontier afterwards. Call
+// Expand to grow it further.
+func (o *Optimizer) ParetoFrontier() ([]Plan, error) {
+	if o.run != nil {
+		return o.plans(o.frontier), nil
+	}
+	probes := o.opt.Probes
+	if probes == 0 {
+		probes = 30
+	}
+	return o.Expand(probes)
+}
+
+// Expand invests `probes` additional solver probes into the (cached)
+// Progressive Frontier run and returns the grown frontier — the incremental
+// mode of §IV-A: a first small frontier within the latency budget, expanded
+// as more time is invested. The frontier only ever grows across calls.
+func (o *Optimizer) Expand(probes int) ([]Plan, error) {
+	if o.run == nil {
+		copt := core.Options{
+			TimeBudget: o.opt.TimeBudget,
+			Grid:       o.opt.Grid,
+			Seed:       o.opt.Seed,
+			OnProgress: o.opt.OnProgress,
+		}
+		copt.Lower, copt.Upper = o.bounds()
+		var s interface {
+			NumObjectives() int
+			Solve(co solver.CO, seed int64) (objective.Solution, bool)
+			SolveBatch(cos []solver.CO, seed int64) []solver.Result
+		}
+		var err error
+		parallel := false
+		switch o.opt.Algorithm {
+		case PFS:
+			s, err = exact.New(o.models(), o.spc, exact.Config{})
+		case PFAS:
+			s, err = o.mogdSolver()
+		default:
+			s, err = o.mogdSolver()
+			parallel = true
+		}
+		if err != nil {
+			return nil, err
+		}
+		o.run = core.NewRun(s, parallel, copt)
+	}
+	front, err := o.run.Expand(probes)
+	if err != nil {
+		return nil, err
+	}
+	o.frontier = front
+	return o.plans(front), nil
+}
+
+func (o *Optimizer) mogdSolver() (*mogd.Solver, error) {
+	return mogd.New(
+		mogd.Problem{Objectives: o.models(), Space: o.spc},
+		mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed},
+	)
+}
+
+// plans converts internal solutions to user-facing plans, restoring the
+// user's objective orientation.
+func (o *Optimizer) plans(front []objective.Solution) []Plan {
+	out := make([]Plan, 0, len(front))
+	for _, s := range front {
+		conf, err := o.spc.Decode(s.X)
+		if err != nil {
+			continue
+		}
+		p := Plan{Config: conf, X: append([]float64(nil), s.X...), Objectives: map[string]float64{}}
+		for i, obj := range o.objs {
+			v := s.F[i]
+			if obj.Maximize {
+				v = -v
+			}
+			p.Objectives[obj.Name] = v
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Recommend picks a configuration from the cached frontier (computing it on
+// first use). Weights follow the objective order and express the
+// application's preference (§II-B); they are ignored by strategies other
+// than WUN. A nil weights slice means equal preference.
+func (o *Optimizer) Recommend(strategy Strategy, weights []float64) (Plan, error) {
+	if o.frontier == nil {
+		if _, err := o.ParetoFrontier(); err != nil {
+			return Plan{}, err
+		}
+	}
+	if len(o.frontier) == 0 {
+		return Plan{}, errors.New("udao: empty frontier")
+	}
+	if weights == nil {
+		weights = make([]float64, len(o.objs))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var sol objective.Solution
+	var err error
+	switch strategy {
+	case UN:
+		sol, err = recommend.UtopiaNearest(o.frontier)
+	case SLL:
+		sol, err = recommend.SlopeMaximization(o.frontier, recommend.Left)
+	case SLR:
+		sol, err = recommend.SlopeMaximization(o.frontier, recommend.Right)
+	case KPL:
+		sol, err = recommend.KneePoint(o.frontier, recommend.Left)
+	case KPR:
+		sol, err = recommend.KneePoint(o.frontier, recommend.Right)
+	default:
+		if o.opt.WorkloadClass != nil {
+			sol, err = recommend.WorkloadAwareWUN(o.frontier, weights, *o.opt.WorkloadClass)
+		} else {
+			sol, err = recommend.WeightedUtopiaNearest(o.frontier, weights)
+		}
+	}
+	if err != nil {
+		return Plan{}, err
+	}
+	plans := o.plans([]objective.Solution{sol})
+	if len(plans) == 0 {
+		return Plan{}, errors.New("udao: recommendation could not be decoded")
+	}
+	return plans[0], nil
+}
+
+// Optimize runs the full loop of Fig. 1(a): compute the frontier and return
+// the WUN recommendation for the given weights.
+func (o *Optimizer) Optimize(weights []float64) (Plan, error) {
+	if _, err := o.ParetoFrontier(); err != nil {
+		return Plan{}, err
+	}
+	return o.Recommend(WUN, weights)
+}
+
+// UncertainSpace reports the fraction of the objective space the cached
+// frontier leaves uncertain — the coverage measure of the paper's Figures
+// 4–5 (0 = fully resolved, 1 = nothing known).
+func (o *Optimizer) UncertainSpace() (float64, error) {
+	if len(o.frontier) == 0 {
+		return 1, errors.New("udao: no frontier computed")
+	}
+	pts := make([]objective.Point, len(o.frontier))
+	for i, s := range o.frontier {
+		pts[i] = s.F
+	}
+	utopia, nadir := objective.Bounds(pts)
+	return metrics.UncertainFraction(pts, utopia, nadir), nil
+}

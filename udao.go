@@ -1,0 +1,68 @@
+// Package udao is a Go implementation of UDAO, the Spark-based Unified Data
+// Analytics Optimizer of "Spark-based Cloud Data Analytics using
+// Multi-Objective Optimization" (ICDE 2021).
+//
+// Given an analytic task's objective models Ψ₁…Ψₖ (learned Gaussian
+// processes or deep neural networks, or handcrafted regression functions)
+// over a configuration space of Spark knobs, UDAO computes a Pareto-optimal
+// set of configurations with the Progressive Frontier algorithms (PF-S,
+// PF-AS, PF-AP) and recommends the configuration that best explores the
+// tradeoffs between the objectives, within seconds.
+//
+// The typical flow mirrors Fig. 1(a) of the paper:
+//
+//	spc := udao.BatchKnobSpace()                      // 12 Spark knobs
+//	latency, _ := server.Model("q02", "latency")      // learned models
+//	cores, _ := server.Model("q02", "cores")
+//	opt, _ := udao.NewOptimizer(spc, []udao.Objective{
+//		{Name: "latency", Model: latency},
+//		{Name: "cores", Model: cores},
+//	}, udao.Options{})
+//	frontier, _ := opt.ParetoFrontier()
+//	plan, _ := opt.Recommend(udao.WUN, []float64{0.9, 0.1})
+//	fmt.Println(spc.Describe(plan.Config))
+//
+// Subsystems (all stdlib-only, implemented from scratch):
+//
+//   - internal/core — the Progressive Frontier algorithms (§III–IV)
+//   - internal/solver/mogd — the Multi-Objective Gradient Descent solver
+//   - internal/model/{gp,dnn,analytic} — the objective models
+//   - internal/moo/{ws,nc,evo,mobo} — the baselines of the evaluation
+//   - internal/ottertune — the OtterTune comparison system
+//   - internal/spark, internal/bench/{tpcxbb,stream} — the simulated
+//     cluster substrate and benchmark suites
+//   - internal/modelserver, internal/trace, internal/feature — the model
+//     server pipeline
+//   - internal/experiments — regenerates every table and figure of §VI
+package udao
+
+import (
+	"repro/internal/space"
+	"repro/internal/spark"
+)
+
+// Space describes a configuration (knob) space; see NewSpace.
+type Space = space.Space
+
+// Var is one knob of a Space.
+type Var = space.Var
+
+// Values is a raw knob assignment.
+type Values = space.Values
+
+// Knob kinds.
+const (
+	Continuous  = space.Continuous
+	Integer     = space.Integer
+	Boolean     = space.Boolean
+	Categorical = space.Categorical
+)
+
+// NewSpace builds a configuration space from knob definitions.
+func NewSpace(vars []Var) (*Space, error) { return space.New(vars) }
+
+// BatchKnobSpace returns the paper's 12-knob Spark batch space.
+func BatchKnobSpace() *Space { return spark.BatchSpace() }
+
+// StreamKnobSpace returns the paper's streaming knob space.
+func StreamKnobSpace() *Space { return spark.StreamSpace() }
