@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/model/analytic"
+	"repro/internal/solver/mogd"
+)
+
+// benchPFSolver builds the Fig. 3(f) bivariate problem with the MOGD solver —
+// the PF-AS/PF-AP configuration of the paper's timing table (§VI-C).
+func benchPFSolver(b *testing.B) *mogd.Solver {
+	b.Helper()
+	lat, cost := analytic.PaperExample2D()
+	s, err := mogd.New(mogd.Problem{Objectives: []model.Model{lat, cost}},
+		mogd.Config{Seed: 1, Starts: 6, Iters: 80})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSequential runs PF-AS (Algorithm 1 with MOGD probes).
+func BenchmarkSequential(b *testing.B) {
+	s := benchPFSolver(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Sequential(s, Options{Probes: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParallel runs PF-AP (l^k grid probes dispatched simultaneously).
+func BenchmarkParallel(b *testing.B) {
+	s := benchPFSolver(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parallel(s, Options{Probes: 20, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

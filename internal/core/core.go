@@ -194,10 +194,14 @@ type run struct {
 	start   time.Time
 	initVol float64
 	queue   rectQueue
-	plans   []objective.Solution
-	probes  int
-	seq     int
-	rng     *rand.Rand
+	// queueVol caches the sum of queued rectangle volumes, maintained
+	// incrementally by push/pop so every OnProgress snapshot and
+	// Run.UncertainFrac call stops re-summing the heap.
+	queueVol float64
+	plans    []objective.Solution
+	probes   int
+	seq      int
+	rng      *rand.Rand
 }
 
 // push enqueues a rectangle unless it is below the resolution cutoff.
@@ -218,6 +222,23 @@ func (r *run) push(rect objective.Rect) {
 		pri = r.rng.Float64()
 	}
 	heap.Push(&r.queue, rectItem{rect: rect, volume: v, priority: pri})
+	r.queueVol += v
+}
+
+// pop removes and returns the highest-priority rectangle, keeping the cached
+// queue volume in sync.
+func (r *run) pop() rectItem {
+	it := heap.Pop(&r.queue).(rectItem)
+	r.queueVol -= it.volume
+	if r.queueVol < 0 || r.queue.Len() == 0 {
+		// Snap accumulated float drift back to exact zero at the boundaries.
+		if r.queue.Len() == 0 {
+			r.queueVol = 0
+		} else {
+			r.queueVol = r.queue.totalVolume()
+		}
+	}
+	return it
 }
 
 func (r *run) expired() bool {
@@ -230,7 +251,7 @@ func (r *run) report() {
 	}
 	frac := 0.0
 	if r.initVol > 0 {
-		frac = r.queue.totalVolume() / r.initVol
+		frac = r.queueVol / r.initVol
 	}
 	r.opt.OnProgress(Snapshot{
 		Probes:        r.probes,
@@ -310,7 +331,7 @@ func Parallel(s solver.Solver, opt Options) ([]objective.Solution, error) {
 // stepSequential performs one Middle Point Probe (with its full-box
 // fallback) on the largest queued hyperrectangle.
 func (r *run) stepSequential() {
-	it := heap.Pop(&r.queue).(rectItem)
+	it := r.pop()
 	co := middleCO(it.rect, r.opt.Target)
 	sol, found := r.s.Solve(co, r.opt.Seed+int64(r.probes)*1_000_003)
 	r.probes++
@@ -333,7 +354,7 @@ func (r *run) stepSequential() {
 // and probes every cell simultaneously, retrying failed cells once over
 // their full boxes.
 func (r *run) stepParallel() {
-	it := heap.Pop(&r.queue).(rectItem)
+	it := r.pop()
 	cells := it.rect.GridCells(r.opt.Grid)
 	cos := make([]solver.CO, len(cells))
 	for i, c := range cells {

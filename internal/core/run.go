@@ -98,7 +98,7 @@ func (u *Run) UncertainFrac() float64 {
 		}
 		return 1
 	}
-	return u.st.queue.totalVolume() / u.st.initVol
+	return u.st.queueVol / u.st.initVol
 }
 
 // Exhausted reports whether the uncertain space is fully resolved: further

@@ -49,15 +49,26 @@ func (l Latency) Predict(x []float64) float64 {
 
 // Gradient implements model.Gradienter with the analytic derivative.
 func (l Latency) Gradient(x []float64) []float64 {
-	g := make([]float64, l.D)
+	_, g := l.ValueGrad(x, nil)
+	return g
+}
+
+// ValueGrad implements model.ValueGradienter; the core count and its partial
+// derivatives are shared between the value and the gradient.
+func (l Latency) ValueGrad(x, grad []float64) (float64, []float64) {
+	g := model.GradBuf(grad, l.D)
+	for i := range g {
+		g[i] = 0
+	}
 	e := 1 + x[0]*(l.MaxExec-1)
 	c := 1 + x[1]*(l.MaxCores-1)
 	cores := e * c
+	val := l.Serial + l.Work/cores + l.Shuffle*math.Log2(1+cores)
 	// d latency / d cores
 	dldc := -l.Work/(cores*cores) + l.Shuffle/((1+cores)*math.Ln2)
 	g[0] = dldc * (l.MaxExec - 1) * c
 	g[1] = dldc * (l.MaxCores - 1) * e
-	return g
+	return val, g
 }
 
 // CoreCost is the paper's "resource cost in CPU cores" objective (§II-B
@@ -78,12 +89,21 @@ func (c CoreCost) Predict(x []float64) float64 {
 
 // Gradient implements model.Gradienter.
 func (c CoreCost) Gradient(x []float64) []float64 {
-	g := make([]float64, c.D)
+	_, g := c.ValueGrad(x, nil)
+	return g
+}
+
+// ValueGrad implements model.ValueGradienter.
+func (c CoreCost) ValueGrad(x, grad []float64) (float64, []float64) {
+	g := model.GradBuf(grad, c.D)
+	for i := range g {
+		g[i] = 0
+	}
 	e := 1 + x[0]*(c.MaxExec-1)
 	cc := 1 + x[1]*(c.MaxCores-1)
 	g[0] = (c.MaxExec - 1) * cc
 	g[1] = (c.MaxCores - 1) * e
-	return g
+	return e * cc, g
 }
 
 // CPUHourCost is the paper's objective 7, resource cost in CPU-hours
@@ -132,7 +152,7 @@ func PaperExample2D() (lat, cost model.Model) {
 }
 
 var (
-	_ model.Gradienter = Latency{}
-	_ model.Gradienter = CoreCost{}
-	_ model.Model      = CPUHourCost{}
+	_ model.ValueGradienter = Latency{}
+	_ model.ValueGradienter = CoreCost{}
+	_ model.Model           = CPUHourCost{}
 )

@@ -1,0 +1,58 @@
+package dnn
+
+import "testing"
+
+// benchNet builds the paper's largest model shape (4×128 ReLU) over a
+// 12-knob input — the configuration MOGD hammers hardest (§VI-C).
+func benchNet() *Net {
+	return New(12, Config{Hidden: []int{128, 128, 128, 128}, Seed: 1})
+}
+
+func benchInput(d int) []float64 {
+	x := make([]float64, d)
+	for i := range x {
+		x[i] = float64(i%7) / 7
+	}
+	return x
+}
+
+func BenchmarkPredict(b *testing.B) {
+	n := benchNet()
+	x := benchInput(n.InDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Predict(x)
+	}
+}
+
+func BenchmarkGradient(b *testing.B) {
+	n := benchNet()
+	x := benchInput(n.InDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Gradient(x)
+	}
+}
+
+func BenchmarkValueGrad(b *testing.B) {
+	n := benchNet()
+	x := benchInput(n.InDim)
+	grad := make([]float64, n.InDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.ValueGrad(x, grad)
+	}
+}
+
+func BenchmarkPredictVar(b *testing.B) {
+	n := benchNet()
+	x := benchInput(n.InDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.PredictVar(x)
+	}
+}

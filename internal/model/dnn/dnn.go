@@ -14,7 +14,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/model"
 )
 
 // Config controls network shape and training.
@@ -72,6 +75,51 @@ type Net struct {
 	YMean, YStd float64
 	adamT       int
 	mcCounter   int64
+	// pool recycles forward/backprop scratch between calls so the inference
+	// paths (Predict/Gradient/ValueGrad/PredictVar) run allocation-free after
+	// warm-up. It is per-Net (buffer shapes depend on the layer widths) and
+	// makes those paths safe for concurrent callers. A zero-value or
+	// hand-assembled Net (nil pool) falls back to per-call allocation.
+	pool *sync.Pool
+}
+
+// scratch holds the per-call buffers of one forward/backprop pass.
+type scratch struct {
+	// acts[li] is layer li's post-activation (length Layers[li].Out); the
+	// input itself is not stored (backprop reads it from the caller's x).
+	acts [][]float64
+	// bufA/bufB are ping-pong delta buffers sized to the widest layer.
+	bufA, bufB []float64
+	// mask holds one dropout multiplier per hidden unit per ReLU layer
+	// (nil rows for non-ReLU layers); refilled in place by PredictVar.
+	mask [][]float64
+}
+
+func (n *Net) newScratch() *scratch {
+	s := &scratch{acts: make([][]float64, len(n.Layers))}
+	maxW := n.InDim
+	for li, l := range n.Layers {
+		s.acts[li] = make([]float64, l.Out)
+		if l.Out > maxW {
+			maxW = l.Out
+		}
+	}
+	s.bufA = make([]float64, maxW)
+	s.bufB = make([]float64, maxW)
+	return s
+}
+
+func (n *Net) getScratch() *scratch {
+	if n.pool == nil {
+		return n.newScratch()
+	}
+	return n.pool.Get().(*scratch)
+}
+
+func (n *Net) putScratch(s *scratch) {
+	if n.pool != nil {
+		n.pool.Put(s)
+	}
 }
 
 // New creates a network with Glorot-uniform initialization.
@@ -96,20 +144,20 @@ func New(inDim int, cfg Config) *Net {
 		l.vB = make([]float64, len(l.B))
 		n.Layers = append(n.Layers, l)
 	}
+	n.pool = &sync.Pool{New: func() interface{} { return n.newScratch() }}
 	return n
 }
 
 // Dim implements model.Model.
 func (n *Net) Dim() int { return n.InDim }
 
-// forward runs the network, returning the pre-activation and post-activation
-// values of every layer (needed for backprop). dropMask, when non-nil, holds
-// one keep/drop multiplier per hidden unit per layer.
-func (n *Net) forward(x []float64, dropMask [][]float64) (acts [][]float64, out float64) {
+// forward runs the network over sc's activation buffers, returning the
+// standardized output. When drop is true, sc.mask's keep/drop multipliers are
+// applied to the hidden units. It allocates nothing.
+func (n *Net) forward(x []float64, sc *scratch, drop bool) float64 {
 	a := x
-	acts = append(acts, a)
 	for li, l := range n.Layers {
-		z := make([]float64, l.Out)
+		z := sc.acts[li]
 		for o := 0; o < l.Out; o++ {
 			s := l.B[o]
 			row := l.W[o*l.In : (o+1)*l.In]
@@ -121,61 +169,95 @@ func (n *Net) forward(x []float64, dropMask [][]float64) (acts [][]float64, out 
 			}
 			z[o] = s
 		}
-		if dropMask != nil && l.ReLU {
+		if drop && l.ReLU {
+			m := sc.mask[li]
 			for o := range z {
-				z[o] *= dropMask[li][o]
+				z[o] *= m[o]
 			}
 		}
-		acts = append(acts, z)
 		a = z
 	}
-	return acts, a[0]
+	return a[0]
 }
 
-// Predict implements model.Model; it is safe for concurrent use.
+// inputGrad backprops ∂Ψ/∂x through sc's stored activations (a forward pass
+// over the same x must have just run on sc), writing the raw-scale gradient
+// into grad. It allocates nothing.
+func (n *Net) inputGrad(sc *scratch, grad []float64) {
+	// cur holds the delta over the current layer's outputs; nxt receives the
+	// delta over its inputs (ping-pong buffers sized to the widest layer).
+	cur, nxt := sc.bufA, sc.bufB
+	cur[0] = n.YStd
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		post := sc.acts[li]
+		// Backprop through ReLU: zero gradient where the unit was inactive.
+		if l.ReLU {
+			for o := 0; o < l.Out; o++ {
+				if post[o] <= 0 {
+					cur[o] = 0
+				}
+			}
+		}
+		dst := nxt
+		if li == 0 {
+			dst = grad
+		}
+		for i := 0; i < l.In; i++ {
+			dst[i] = 0
+		}
+		for o := 0; o < l.Out; o++ {
+			d := cur[o]
+			if d == 0 {
+				continue
+			}
+			row := l.W[o*l.In : (o+1)*l.In]
+			for i, w := range row {
+				dst[i] += d * w
+			}
+		}
+		cur, nxt = dst, cur
+	}
+}
+
+// Predict implements model.Model; it is safe for concurrent use and
+// allocation-free after pool warm-up.
 func (n *Net) Predict(x []float64) float64 {
 	if len(x) != n.InDim {
 		panic(fmt.Sprintf("dnn: input length %d != %d", len(x), n.InDim))
 	}
-	_, out := n.forward(x, nil)
+	sc := n.getScratch()
+	out := n.forward(x, sc, false)
+	n.putScratch(sc)
 	return out*n.YStd + n.YMean
 }
 
 // Gradient implements model.Gradienter: the analytic ∂Ψ/∂x via backprop
 // through the stored activations. Safe for concurrent use.
 func (n *Net) Gradient(x []float64) []float64 {
-	acts, _ := n.forward(x, nil)
-	// delta over the activations of the current layer, starting at output.
-	delta := []float64{n.YStd}
-	for li := len(n.Layers) - 1; li >= 0; li-- {
-		l := n.Layers[li]
-		post := acts[li+1]
-		// Backprop through ReLU: zero gradient where the unit was inactive.
-		if l.ReLU {
-			for o := range delta {
-				if post[o] <= 0 {
-					delta[o] = 0
-				}
-			}
-		}
-		prev := make([]float64, l.In)
-		for o := 0; o < l.Out; o++ {
-			d := delta[o]
-			if d == 0 {
-				continue
-			}
-			row := l.W[o*l.In : (o+1)*l.In]
-			for i, w := range row {
-				prev[i] += d * w
-			}
-		}
-		delta = prev
+	g := make([]float64, n.InDim)
+	n.ValueGrad(x, g)
+	return g
+}
+
+// ValueGrad implements model.ValueGradienter: one forward pass shared by the
+// value and the input-backprop, where Predict-then-Gradient would run two.
+// Safe for concurrent use; allocation-free when grad has length Dim().
+func (n *Net) ValueGrad(x, grad []float64) (float64, []float64) {
+	if len(x) != n.InDim {
+		panic(fmt.Sprintf("dnn: input length %d != %d", len(x), n.InDim))
 	}
-	return delta
+	out := model.GradBuf(grad, n.InDim)
+	sc := n.getScratch()
+	y := n.forward(x, sc, false)
+	n.inputGrad(sc, out)
+	n.putScratch(sc)
+	return y*n.YStd + n.YMean, out
 }
 
 // PredictVar implements model.Uncertain with MC dropout: Cfg.Samples
 // stochastic forward passes with dropout rate Cfg.Dropout on hidden units.
+// The dropout mask and activation buffers are reused across all samples.
 func (n *Net) PredictVar(x []float64) (mean, variance float64) {
 	s := n.Cfg.Samples
 	if s < 2 {
@@ -183,26 +265,32 @@ func (n *Net) PredictVar(x []float64) (mean, variance float64) {
 	}
 	rng := rand.New(rand.NewSource(n.Cfg.Seed ^ atomic.AddInt64(&n.mcCounter, 1)))
 	keep := 1 - n.Cfg.Dropout
+	sc := n.getScratch()
+	if sc.mask == nil {
+		sc.mask = make([][]float64, len(n.Layers))
+		for li, l := range n.Layers {
+			if l.ReLU {
+				sc.mask[li] = make([]float64, l.Out)
+			}
+		}
+	}
 	sum, sum2 := 0.0, 0.0
 	for t := 0; t < s; t++ {
-		mask := make([][]float64, len(n.Layers))
-		for li, l := range n.Layers {
-			if !l.ReLU {
-				continue
-			}
-			m := make([]float64, l.Out)
+		for _, m := range sc.mask {
 			for o := range m {
 				if rng.Float64() < keep {
 					m[o] = 1 / keep
+				} else {
+					m[o] = 0
 				}
 			}
-			mask[li] = m
 		}
-		_, out := n.forward(x, mask)
+		out := n.forward(x, sc, true)
 		y := out*n.YStd + n.YMean
 		sum += y
 		sum2 += y * y
 	}
+	n.putScratch(sc)
 	mean = sum / float64(s)
 	variance = sum2/float64(s) - mean*mean
 	if variance < 0 {
@@ -263,25 +351,32 @@ func (n *Net) step(X [][]float64, ys []float64, batch []int) float64 {
 		gB[li] = make([]float64, len(l.B))
 	}
 	sse := 0.0
+	sc := n.getScratch()
 	for _, i := range batch {
-		acts, out := n.forward(X[i], nil)
+		out := n.forward(X[i], sc, false)
 		err := out - ys[i]
 		sse += err * err
-		delta := []float64{2 * err / float64(len(batch))}
+		cur, nxt := sc.bufA, sc.bufB
+		cur[0] = 2 * err / float64(len(batch))
 		for li := len(n.Layers) - 1; li >= 0; li-- {
 			l := n.Layers[li]
-			post := acts[li+1]
-			pre := acts[li]
+			post := sc.acts[li]
+			pre := X[i]
+			if li > 0 {
+				pre = sc.acts[li-1]
+			}
 			if l.ReLU {
-				for o := range delta {
+				for o := 0; o < l.Out; o++ {
 					if post[o] <= 0 {
-						delta[o] = 0
+						cur[o] = 0
 					}
 				}
 			}
-			prev := make([]float64, l.In)
+			for j := 0; j < l.In; j++ {
+				nxt[j] = 0
+			}
 			for o := 0; o < l.Out; o++ {
-				d := delta[o]
+				d := cur[o]
 				gB[li][o] += d
 				if d == 0 {
 					continue
@@ -290,12 +385,13 @@ func (n *Net) step(X [][]float64, ys []float64, batch []int) float64 {
 				grow := gW[li][o*l.In : (o+1)*l.In]
 				for j := range row {
 					grow[j] += d * pre[j]
-					prev[j] += d * row[j]
+					nxt[j] += d * row[j]
 				}
 			}
-			delta = prev
+			cur, nxt = nxt, cur
 		}
 	}
+	n.putScratch(sc)
 	// Adam update with decoupled L2.
 	n.adamT++
 	t := float64(n.adamT)
@@ -332,6 +428,11 @@ func meanStd(v []float64) (float64, float64) {
 	}
 	return m, math.Sqrt(s / float64(len(v)))
 }
+
+var (
+	_ model.ValueGradienter = (*Net)(nil)
+	_ model.Uncertain       = (*Net)(nil)
+)
 
 // checkpoint is the serialized form of a Net (the model server's "best model
 // weights" checkpoint, §V).

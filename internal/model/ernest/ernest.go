@@ -64,6 +64,13 @@ func (m *Model) Gradient(x []float64) []float64 {
 	return model.NumericGradient{M: m}.Gradient(x)
 }
 
+// ValueGrad implements model.ValueGradienter: the finite-difference gradient
+// is written into the caller's buffer and the value shares the probe setup,
+// saving the extra Predict and allocation of the generic fallback.
+func (m *Model) ValueGrad(x, grad []float64) (float64, []float64) {
+	return model.NumericGradient{M: m}.ValueGrad(x, grad)
+}
+
 // Fit estimates the coefficients from observed (configuration, latency)
 // pairs by non-negative least squares: minimize ‖Aθ − y‖² subject to θ ≥ 0,
 // solved with projected gradient descent using the Lipschitz step 1/‖AᵀA‖.
@@ -145,4 +152,4 @@ func Fit(X [][]float64, y []float64, dim int, cores CoresFunc) (*Model, error) {
 	return m, nil
 }
 
-var _ model.Gradienter = (*Model)(nil)
+var _ model.ValueGradienter = (*Model)(nil)

@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"repro/internal/linalg"
+	"repro/internal/model"
 )
 
 // Config controls kernel initialization and MLE training.
@@ -57,6 +58,14 @@ type GP struct {
 	chol   *linalg.Matrix // Cholesky factor of K
 	alpha  []float64      // K⁻¹(y - mean)
 	LogML  float64        // log marginal likelihood at the fitted params
+	// Inference-time caches of the fitted hyperparameters, refreshed by
+	// refit: sf2 = exp(logSF2), lsc[d] = l_d, l2[d] = l_d² — they keep the
+	// per-training-point kernel evaluations of the prediction hot path
+	// exp-free per dimension while preserving the exact arithmetic of the
+	// uncached kernel (same divisions, bit-identical results).
+	sf2 float64
+	lsc []float64
+	l2  []float64
 }
 
 // Fit trains a GP on (X, y). Inputs are expected in the normalized decision
@@ -152,6 +161,14 @@ func (g *GP) refit(y []float64) error {
 		}
 		g.chol = l
 		g.alpha = linalg.CholSolve(l, centered)
+		g.sf2 = math.Exp(g.logSF2)
+		g.lsc = make([]float64, g.dim)
+		g.l2 = make([]float64, g.dim)
+		for d := range g.lsc {
+			li := math.Exp(g.logL[d])
+			g.lsc[d] = li
+			g.l2[d] = li * li
+		}
 		g.LogML = -0.5*linalg.Dot(centered, g.alpha) -
 			0.5*linalg.LogDetFromChol(l) -
 			0.5*float64(n)*math.Log(2*math.Pi)
@@ -284,10 +301,25 @@ func (g *GP) mleGrad(centered []float64) ([]float64, float64, bool) {
 	return grad, ll, true
 }
 
+// kernelFitted evaluates k(a, b) with the cached fitted hyperparameters —
+// the inference-path twin of kernel (which recomputes the exps so it stays
+// correct mid-MLE).
+func (g *GP) kernelFitted(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := (a[i] - b[i]) / g.lsc[i]
+		s += d * d
+	}
+	return g.sf2 * math.Exp(-0.5*s)
+}
+
 // Predict implements model.Model (posterior mean). Safe for concurrent use.
 func (g *GP) Predict(x []float64) float64 {
-	mean, _ := g.PredictVar(x)
-	return mean
+	dot := 0.0
+	for i, xi := range g.X {
+		dot += g.kernelFitted(x, xi) * g.alpha[i]
+	}
+	return g.yMean + dot
 }
 
 // PredictVar implements model.Uncertain: posterior mean and variance at x.
@@ -295,11 +327,11 @@ func (g *GP) PredictVar(x []float64) (float64, float64) {
 	n := len(g.X)
 	ks := make([]float64, n)
 	for i := 0; i < n; i++ {
-		ks[i] = g.kernel(x, g.X[i])
+		ks[i] = g.kernelFitted(x, g.X[i])
 	}
 	mean := g.yMean + linalg.Dot(ks, g.alpha)
 	v := linalg.SolveLower(g.chol, ks)
-	variance := g.kernel(x, x) - linalg.Dot(v, v)
+	variance := g.kernelFitted(x, x) - linalg.Dot(v, v)
 	if variance < 0 {
 		variance = 0
 	}
@@ -309,19 +341,37 @@ func (g *GP) PredictVar(x []float64) (float64, float64) {
 // Gradient implements model.Gradienter: the analytic gradient of the
 // posterior mean, ∂m/∂x_d = Σ_i α_i k(x, x_i) (x_i[d] - x[d]) / l_d².
 func (g *GP) Gradient(x []float64) []float64 {
-	out := make([]float64, g.dim)
+	_, out := g.ValueGrad(x, nil)
+	return out
+}
+
+// ValueGrad implements model.ValueGradienter: the posterior mean and its
+// gradient share one kernel evaluation per training point (each scaled by
+// the cached Cholesky-solve vector α), where Predict-then-Gradient would
+// evaluate the kernel row twice.
+func (g *GP) ValueGrad(x, grad []float64) (float64, []float64) {
+	out := model.GradBuf(grad, g.dim)
+	for d := range out {
+		out[d] = 0
+	}
+	dot := 0.0
 	for i, xi := range g.X {
-		kv := g.kernel(x, xi) * g.alpha[i]
+		kv := g.kernelFitted(x, xi) * g.alpha[i]
+		dot += kv
 		if kv == 0 {
 			continue
 		}
 		for d := 0; d < g.dim; d++ {
-			l := math.Exp(g.logL[d])
-			out[d] += kv * (xi[d] - x[d]) / (l * l)
+			out[d] += kv * (xi[d] - x[d]) / g.l2[d]
 		}
 	}
-	return out
+	return g.yMean + dot, out
 }
+
+var (
+	_ model.ValueGradienter = (*GP)(nil)
+	_ model.Uncertain       = (*GP)(nil)
+)
 
 // Lengthscales returns the fitted per-dimension lengthscales; small values
 // indicate influential dimensions (used as a knob-importance signal).

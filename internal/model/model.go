@@ -37,6 +37,53 @@ type Uncertain interface {
 	PredictVar(x []float64) (mean, variance float64)
 }
 
+// ValueGradienter is a Model that evaluates its value and input gradient in
+// one fused pass — the MOGD hot path (§IV-B evaluates both every Adam
+// iteration; fusing halves the model evaluations). grad, when it has length
+// Dim(), is used as the output buffer and the returned slice aliases it;
+// passing nil (or a wrong-length slice) allocates. Implementations must be
+// safe for concurrent use when the underlying Predict is.
+type ValueGradienter interface {
+	Gradienter
+	// ValueGrad returns Predict(x) and ∂Predict/∂x at x.
+	ValueGrad(x, grad []float64) (float64, []float64)
+}
+
+// GradBuf returns grad when it already has length n, and a fresh slice
+// otherwise. ValueGrad implementations use it to honor the caller's scratch
+// buffer; the contents are overwritten, not accumulated into.
+func GradBuf(grad []float64, n int) []float64 {
+	if len(grad) == n {
+		return grad
+	}
+	return make([]float64, n)
+}
+
+// fusedFallback implements ValueGradienter with two separate calls for
+// models without a native fused path.
+type fusedFallback struct{ G Gradienter }
+
+func (f fusedFallback) Dim() int                       { return f.G.Dim() }
+func (f fusedFallback) Predict(x []float64) float64    { return f.G.Predict(x) }
+func (f fusedFallback) Gradient(x []float64) []float64 { return f.G.Gradient(x) }
+
+func (f fusedFallback) ValueGrad(x, grad []float64) (float64, []float64) {
+	v := f.G.Predict(x)
+	g := f.G.Gradient(x)
+	out := GradBuf(grad, len(g))
+	copy(out, g)
+	return v, out
+}
+
+// EnsureValueGrad returns m as a ValueGradienter, wrapping it (via
+// EnsureGradient when needed) with an unfused fallback otherwise.
+func EnsureValueGrad(m Model) ValueGradienter {
+	if vg, ok := m.(ValueGradienter); ok {
+		return vg
+	}
+	return fusedFallback{G: EnsureGradient(m)}
+}
+
 // NumericGradient wraps any Model with central finite differences so the
 // MOGD solver can optimize models that lack analytic gradients (e.g.
 // handcrafted regression functions with non-differentiable pieces, for which
@@ -57,11 +104,24 @@ func (n NumericGradient) Predict(x []float64) float64 { return n.M.Predict(x) }
 // model, clamping probe points into [0,1] so boundary evaluations stay in
 // the normalized decision space.
 func (n NumericGradient) Gradient(x []float64) []float64 {
+	g := make([]float64, len(x))
+	n.gradientInto(x, g)
+	return g
+}
+
+// ValueGrad implements ValueGradienter: the value costs one extra model
+// evaluation on top of the 2·D finite-difference probes.
+func (n NumericGradient) ValueGrad(x, grad []float64) (float64, []float64) {
+	out := GradBuf(grad, len(x))
+	n.gradientInto(x, out)
+	return n.M.Predict(x), out
+}
+
+func (n NumericGradient) gradientInto(x, g []float64) {
 	h := n.H
 	if h == 0 {
 		h = 1e-5
 	}
-	g := make([]float64, len(x))
 	xp := linalg.CopyVec(x)
 	for i := range x {
 		lo := linalg.Clamp(x[i]-h, 0, 1)
@@ -77,7 +137,6 @@ func (n NumericGradient) Gradient(x []float64) []float64 {
 		xp[i] = x[i]
 		g[i] = (fp - fm) / (hi - lo)
 	}
-	return g
 }
 
 // EnsureGradient returns m as a Gradienter, wrapping it with NumericGradient
@@ -117,6 +176,14 @@ func (n Negated) Gradient(x []float64) []float64 {
 	g := EnsureGradient(n.M).Gradient(x)
 	linalg.Scale(-1, g)
 	return g
+}
+
+// ValueGrad implements ValueGradienter, preserving the wrapped model's fused
+// path.
+func (n Negated) ValueGrad(x, grad []float64) (float64, []float64) {
+	v, g := EnsureValueGrad(n.M).ValueGrad(x, grad)
+	linalg.Scale(-1, g)
+	return -v, g
 }
 
 // PredictVar implements Uncertain when the wrapped model is Uncertain.
@@ -178,6 +245,15 @@ func (e Exp) Gradient(x []float64) []float64 {
 	return g
 }
 
+// ValueGrad implements ValueGradienter: unlike Gradient, the inner value is
+// computed once and shared between the output and the chain-rule scale.
+func (e Exp) ValueGrad(x, grad []float64) (float64, []float64) {
+	v, g := EnsureValueGrad(e.M).ValueGrad(x, grad)
+	ev := math.Exp(v)
+	linalg.Scale(ev, g)
+	return ev, g
+}
+
 // PredictVar implements Uncertain with the log-normal moments: if
 // log F ~ N(μ, σ²) then E[F] = exp(μ+σ²/2) and
 // Var[F] = (exp(σ²)−1)·exp(2μ+σ²).
@@ -231,6 +307,24 @@ func (s Sum) Gradient(x []float64) []float64 {
 		linalg.AXPY(s.weight(i), g, out)
 	}
 	return out
+}
+
+// ValueGrad implements ValueGradienter, fusing each stage's value and
+// gradient evaluation.
+func (s Sum) ValueGrad(x, grad []float64) (float64, []float64) {
+	out := GradBuf(grad, s.Dim())
+	for i := range out {
+		out[i] = 0
+	}
+	v := 0.0
+	buf := make([]float64, s.Dim())
+	for i, m := range s.Models {
+		vi, g := EnsureValueGrad(m).ValueGrad(x, buf)
+		w := s.weight(i)
+		v += w * vi
+		linalg.AXPY(w, g, out)
+	}
+	return v, out
 }
 
 // PredictVar implements Uncertain assuming independent component errors:

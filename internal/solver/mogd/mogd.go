@@ -14,6 +14,15 @@
 // models; the α·std uplift enters the loss values and feasibility checks
 // (its gradient is omitted — a documented approximation that keeps descent
 // cheap and deterministic for MC-dropout models).
+//
+// Hot path: every Adam iteration evaluates each objective's value and input
+// gradient through one fused model.ValueGradienter call, the multi-starts of
+// Solve run in parallel on a worker pool shared with SolveBatch (bounded by
+// Config.Workers, so PF-AP's l^k grid × multi-start product saturates but
+// never oversubscribes the machine), and upfront start-point draws plus an
+// ordered reduction keep the result bit-identical to a sequential run
+// regardless of scheduling. Models must be safe for concurrent
+// Predict/ValueGrad calls.
 package mogd
 
 import (
@@ -22,6 +31,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/objective"
@@ -36,7 +46,8 @@ type Problem struct {
 	Space      *space.Space // optional; nil keeps solutions continuous
 }
 
-// Config tunes the solver.
+// Config tunes the solver. For every field, zero means "use the default";
+// negative values are rejected by New.
 type Config struct {
 	Starts  int     // multi-start count (default 8; start 0 is the center)
 	Iters   int     // Adam iterations per start (default 100)
@@ -44,8 +55,29 @@ type Config struct {
 	Penalty float64 // P of Eq. 3 (default 100)
 	Alpha   float64 // uncertainty multiplier for F̃ = E + α·std (default 0)
 	Tol     float64 // feasibility tolerance on the normalized scale (default 1e-4)
-	Workers int     // SolveBatch concurrency (default GOMAXPROCS)
+	Workers int     // max concurrent starts/probes across Solve+SolveBatch (default GOMAXPROCS)
 	Seed    int64
+}
+
+// validate rejects explicitly invalid settings; zero stays "default".
+func (c Config) validate() error {
+	switch {
+	case c.Starts < 0:
+		return fmt.Errorf("mogd: Starts must be >= 0 (zero means default), got %d", c.Starts)
+	case c.Iters < 0:
+		return fmt.Errorf("mogd: Iters must be >= 0 (zero means default), got %d", c.Iters)
+	case c.Workers < 0:
+		return fmt.Errorf("mogd: Workers must be >= 0 (zero means default), got %d", c.Workers)
+	case c.LR < 0 || math.IsNaN(c.LR):
+		return fmt.Errorf("mogd: LR must be >= 0 (zero means default), got %v", c.LR)
+	case c.Penalty < 0 || math.IsNaN(c.Penalty):
+		return fmt.Errorf("mogd: Penalty must be >= 0 (zero means default), got %v", c.Penalty)
+	case c.Tol < 0 || math.IsNaN(c.Tol):
+		return fmt.Errorf("mogd: Tol must be >= 0 (zero means default), got %v", c.Tol)
+	case c.Alpha < 0 || math.IsNaN(c.Alpha):
+		return fmt.Errorf("mogd: Alpha must be >= 0, got %v", c.Alpha)
+	}
+	return nil
 }
 
 func (c *Config) defaults() {
@@ -72,17 +104,31 @@ func (c *Config) defaults() {
 // Solver solves CO problems over a fixed Problem. It is safe for concurrent
 // use as long as the underlying models are.
 type Solver struct {
-	prob  Problem
-	cfg   Config
-	dim   int
-	grads []model.Gradienter
+	prob Problem
+	cfg  Config
+	dim  int
+	// vgs fuses each objective's value+gradient evaluation (§IV-B hot path).
+	vgs []model.ValueGradienter
 	// eff holds the objective used for loss values and feasibility: the
 	// conservative estimate when Alpha > 0 and the model is Uncertain.
 	eff []model.Model
+	// fused[j] reports whether eff[j] is the raw model, i.e. the ValueGrad
+	// value can be used directly without a separate conservative Predict.
+	fused []bool
+	// sem is the shared token pool bounding extra worker goroutines across
+	// intra-Solve multi-starts and SolveBatch probes. Capacity is Workers-1:
+	// the calling goroutine always works too, so total parallelism from one
+	// caller never exceeds Workers.
+	sem chan struct{}
+	// scratch recycles per-start buffers across Solve calls.
+	scratch sync.Pool
 }
 
-// New validates the problem and builds a solver.
+// New validates the problem and configuration and builds a solver.
 func New(prob Problem, cfg Config) (*Solver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg.defaults()
 	if len(prob.Objectives) == 0 {
 		return nil, fmt.Errorf("mogd: no objectives")
@@ -96,17 +142,20 @@ func New(prob Problem, cfg Config) (*Solver, error) {
 	if prob.Space != nil && prob.Space.Dim() != dim {
 		return nil, fmt.Errorf("mogd: space dim %d != objective dim %d", prob.Space.Dim(), dim)
 	}
-	s := &Solver{prob: prob, cfg: cfg, dim: dim}
+	s := &Solver{prob: prob, cfg: cfg, dim: dim, sem: make(chan struct{}, cfg.Workers-1)}
 	for _, m := range prob.Objectives {
-		s.grads = append(s.grads, model.EnsureGradient(m))
+		s.vgs = append(s.vgs, model.EnsureValueGrad(m))
 		if cfg.Alpha > 0 {
 			if _, ok := m.(model.Uncertain); ok {
 				s.eff = append(s.eff, model.Conservative{M: m, Alpha: cfg.Alpha})
+				s.fused = append(s.fused, false)
 				continue
 			}
 		}
 		s.eff = append(s.eff, m)
+		s.fused = append(s.fused, true)
 	}
+	s.scratch.New = func() interface{} { return s.newStartScratch() }
 	return s, nil
 }
 
@@ -116,13 +165,39 @@ func (s *Solver) Dim() int { return s.dim }
 // NumObjectives returns k.
 func (s *Solver) NumObjectives() int { return len(s.prob.Objectives) }
 
+// startScratch holds one start's reusable buffers: the iterate, Adam state,
+// the accumulated loss gradient, a per-objective gradient buffer, and the
+// objective-value points (one for raw iterates, one for lattice-rounded
+// candidates).
+type startScratch struct {
+	x, mAdam, vAdam []float64
+	grad, gbuf      []float64
+	f, fr           objective.Point
+}
+
+func (s *Solver) newStartScratch() *startScratch {
+	return &startScratch{
+		x:     make([]float64, s.dim),
+		mAdam: make([]float64, s.dim),
+		vAdam: make([]float64, s.dim),
+		grad:  make([]float64, s.dim),
+		gbuf:  make([]float64, s.dim),
+		f:     make(objective.Point, len(s.eff)),
+		fr:    make(objective.Point, len(s.eff)),
+	}
+}
+
 // evalAll returns the effective objective values at x.
 func (s *Solver) evalAll(x []float64) objective.Point {
 	f := make(objective.Point, len(s.eff))
+	s.evalAllInto(x, f)
+	return f
+}
+
+func (s *Solver) evalAllInto(x []float64, f objective.Point) {
 	for j, m := range s.eff {
 		f[j] = m.Predict(x)
 	}
-	return f
 }
 
 // feasible reports whether f satisfies the CO bounds within tolerance.
@@ -144,18 +219,28 @@ func (s *Solver) feasible(co solver.CO, f objective.Point) bool {
 	return true
 }
 
-// lossAndGrad evaluates Eq. 3 and its (sub)gradient at x.
-func (s *Solver) lossAndGrad(co solver.CO, x []float64) (loss float64, grad []float64, f objective.Point) {
-	grad = make([]float64, s.dim)
-	f = s.evalAll(x)
-	for j := range f {
+// lossAndGrad evaluates Eq. 3 and its (sub)gradient at sc.x, writing the
+// gradient into sc.grad and the effective objective values into sc.f. Each
+// objective costs one fused ValueGrad evaluation — half the model passes of
+// a separate Predict + Gradient — except the conservative (α·std) case,
+// whose loss value needs the model's own PredictVar.
+func (s *Solver) lossAndGrad(co solver.CO, sc *startScratch) (loss float64) {
+	for d := range sc.grad {
+		sc.grad[d] = 0
+	}
+	for j := range s.eff {
+		fj, gj := s.vgs[j].ValueGrad(sc.x, sc.gbuf)
+		if !s.fused[j] {
+			fj = s.eff[j].Predict(sc.x)
+		}
+		sc.f[j] = fj
 		lo, hi := co.Lo[j], co.Hi[j]
 		bounded := !math.IsInf(lo, -1) && !math.IsInf(hi, 1) && hi > lo
 		var coeff float64 // dL/dFj (raw scale)
 		switch {
 		case bounded:
 			span := hi - lo
-			fn := (f[j] - lo) / span
+			fn := (fj - lo) / span
 			switch {
 			case fn < 0 || fn > 1:
 				loss += (fn-0.5)*(fn-0.5) + s.cfg.Penalty
@@ -166,135 +251,218 @@ func (s *Solver) lossAndGrad(co solver.CO, x []float64) (loss float64, grad []fl
 			}
 		case j == co.Target:
 			// Unconstrained target: plain minimization; Adam adapts scale.
-			loss += f[j]
+			loss += fj
 			coeff = 1
 		default:
 			// One-sided constraints: quadratic hinge outside the bound.
-			if !math.IsInf(lo, -1) && f[j] < lo {
-				d := lo - f[j]
+			if !math.IsInf(lo, -1) && fj < lo {
+				d := lo - fj
 				loss += d*d + s.cfg.Penalty
 				coeff = -2 * d
 			}
-			if !math.IsInf(hi, 1) && f[j] > hi {
-				d := f[j] - hi
+			if !math.IsInf(hi, 1) && fj > hi {
+				d := fj - hi
 				loss += d*d + s.cfg.Penalty
 				coeff = 2 * d
 			}
 		}
 		if coeff != 0 {
-			g := s.grads[j].Gradient(x)
-			for d := range grad {
-				grad[d] += coeff * g[d]
+			for d := range sc.grad {
+				sc.grad[d] += coeff * gj[d]
 			}
 		}
 	}
-	return loss, grad, f
+	return loss
+}
+
+// startResult is one start's best feasible candidate.
+type startResult struct {
+	sol objective.Solution
+	val float64
+	ok  bool
+}
+
+// startPoints draws the multi-start initial iterates from a single RNG in
+// start order (start 0 is the deterministic center — the default
+// configuration x0 of §IV-B). Drawing upfront decouples the random draws
+// from the concurrent execution of the starts: the trajectories are fully
+// determined here, so scheduling cannot change them.
+func (s *Solver) startPoints(seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(s.cfg.Seed ^ seed))
+	starts := make([][]float64, s.cfg.Starts)
+	for st := range starts {
+		x0 := make([]float64, s.dim)
+		if st == 0 {
+			for d := range x0 {
+				x0[d] = 0.5 // the default configuration x0
+			}
+		} else {
+			for d := range x0 {
+				x0[d] = rng.Float64()
+			}
+		}
+		starts[st] = x0
+	}
+	return starts
+}
+
+// runStart executes one Adam trajectory from the precomputed start point.
+func (s *Solver) runStart(co solver.CO, x0 []float64, sc *startScratch) startResult {
+	x := sc.x
+	copy(x, x0)
+	for d := 0; d < s.dim; d++ {
+		sc.mAdam[d] = 0
+		sc.vAdam[d] = 0
+	}
+	res := startResult{val: math.Inf(1)}
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	for it := 1; it <= s.cfg.Iters; it++ {
+		s.lossAndGrad(co, sc)
+		s.consider(co, sc, &res)
+		// Bias-correction denominators hoisted out of the per-dimension loop;
+		// the step expression itself is kept in the textbook shape so results
+		// stay bit-identical to the unhoisted form.
+		t := float64(it)
+		c1 := 1 - math.Pow(b1, t)
+		c2 := 1 - math.Pow(b2, t)
+		for d := range x {
+			g := sc.grad[d]
+			sc.mAdam[d] = b1*sc.mAdam[d] + (1-b1)*g
+			sc.vAdam[d] = b2*sc.vAdam[d] + (1-b2)*g*g
+			step := s.cfg.LR * (sc.mAdam[d] / c1) / (math.Sqrt(sc.vAdam[d]/c2) + eps)
+			// Clamp to the box: GD may push a variable to the boundary
+			// but never across it (paper §IV-B.1).
+			x[d] = clamp01(x[d] - step)
+		}
+	}
+	s.evalAllInto(x, sc.f)
+	s.consider(co, sc, &res)
+	return res
+}
+
+// consider records sc.x as the start's incumbent if it is feasible (after
+// rounding to the configuration lattice) and improves the target objective.
+func (s *Solver) consider(co solver.CO, sc *startScratch, res *startResult) {
+	xx := sc.x
+	ff := sc.f
+	if s.prob.Space != nil {
+		rx, err := s.prob.Space.Round(sc.x)
+		if err != nil {
+			return
+		}
+		xx = rx
+		s.evalAllInto(rx, sc.fr)
+		ff = sc.fr
+	}
+	if !s.feasible(co, ff) {
+		return
+	}
+	if ff[co.Target] < res.val {
+		res.val = ff[co.Target]
+		xc := make([]float64, len(xx))
+		copy(xc, xx)
+		res.sol = objective.Solution{F: ff.Clone(), X: xc}
+		res.ok = true
+	}
 }
 
 // Solve runs multi-start Adam on the CO problem. The returned solution holds
 // the (rounded, when a Space is configured) configuration and its effective
 // objective values; ok is false when no start found a feasible point.
+//
+// Starts run concurrently on the Workers-bounded pool shared with
+// SolveBatch, but the result is deterministic: the start points are drawn
+// upfront from one seeded RNG and the per-start incumbents are reduced in
+// start order, so Workers changes wall-clock only, never the answer.
 func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
+	s.checkBounds(co)
+	starts := s.startPoints(seed)
+	results := make([]startResult, len(starts))
+	var next int64 = -1
+	work := func() {
+		sc := s.scratch.Get().(*startScratch)
+		for {
+			st := int(atomic.AddInt64(&next, 1))
+			if st >= len(results) {
+				break
+			}
+			results[st] = s.runStart(co, starts[st], sc)
+		}
+		s.scratch.Put(sc)
+	}
+	s.fanOut(len(results)-1, work)
+	return s.reduce(results)
+}
+
+// checkBounds panics on malformed CO problems (a programming error, matching
+// the solver.Solver contract).
+func (s *Solver) checkBounds(co solver.CO) {
 	if len(co.Lo) != len(s.eff) || len(co.Hi) != len(s.eff) {
 		panic(fmt.Sprintf("mogd: CO bounds have %d/%d entries for %d objectives", len(co.Lo), len(co.Hi), len(s.eff)))
 	}
-	rng := rand.New(rand.NewSource(s.cfg.Seed ^ seed))
+}
+
+// fanOut runs work on the calling goroutine plus up to maxHelpers extra
+// goroutines, each gated on a non-blocking token acquire from the shared
+// pool. Tokens held elsewhere (e.g. by SolveBatch probes) simply shrink the
+// fan-out; acquisition never blocks, so the pool cannot deadlock however
+// Solve and SolveBatch calls nest or interleave.
+func (s *Solver) fanOut(maxHelpers int, work func()) {
+	var wg sync.WaitGroup
+	for h := 0; h < maxHelpers; h++ {
+		select {
+		case s.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() { <-s.sem; wg.Done() }()
+				work()
+			}()
+		default:
+			h = maxHelpers // pool exhausted
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// reduce folds per-start results in start order — the same scan order a
+// sequential implementation uses, making the outcome independent of
+// goroutine scheduling.
+func (s *Solver) reduce(results []startResult) (objective.Solution, bool) {
 	var best objective.Solution
 	bestVal := math.Inf(1)
 	found := false
-
-	for start := 0; start < s.cfg.Starts; start++ {
-		x := make([]float64, s.dim)
-		if start == 0 {
-			for d := range x {
-				x[d] = 0.5 // the default configuration x0
-			}
-		} else {
-			for d := range x {
-				x[d] = rng.Float64()
-			}
+	for _, r := range results {
+		if r.ok && r.val < bestVal {
+			bestVal = r.val
+			best = r.sol
+			found = true
 		}
-		mAdam := make([]float64, s.dim)
-		vAdam := make([]float64, s.dim)
-		const b1, b2, eps = 0.9, 0.999, 1e-8
-		for it := 1; it <= s.cfg.Iters; it++ {
-			_, grad, f := s.lossAndGrad(co, x)
-			s.consider(co, x, f, &best, &bestVal, &found)
-			t := float64(it)
-			for d := range x {
-				g := grad[d]
-				mAdam[d] = b1*mAdam[d] + (1-b1)*g
-				vAdam[d] = b2*vAdam[d] + (1-b2)*g*g
-				step := s.cfg.LR * (mAdam[d] / (1 - math.Pow(b1, t))) / (math.Sqrt(vAdam[d]/(1-math.Pow(b2, t))) + eps)
-				// Clamp to the box: GD may push a variable to the boundary
-				// but never across it (paper §IV-B.1).
-				x[d] = clamp01(x[d] - step)
-			}
-		}
-		f := s.evalAll(x)
-		s.consider(co, x, f, &best, &bestVal, &found)
 	}
 	return best, found
 }
 
-// consider records x as the incumbent if it is feasible (after rounding to
-// the configuration lattice) and improves the target objective.
-func (s *Solver) consider(co solver.CO, x []float64, f objective.Point, best *objective.Solution, bestVal *float64, found *bool) {
-	xx := x
-	ff := f
-	if s.prob.Space != nil {
-		rx, err := s.prob.Space.Round(x)
-		if err != nil {
-			return
-		}
-		xx = rx
-		ff = s.evalAll(rx)
-	}
-	if !s.feasible(co, ff) {
-		return
-	}
-	if ff[co.Target] < *bestVal {
-		*bestVal = ff[co.Target]
-		xc := make([]float64, len(xx))
-		copy(xc, xx)
-		*best = objective.Solution{F: ff.Clone(), X: xc}
-		*found = true
-	}
-}
-
-// SolveBatch solves the CO problems concurrently with Config.Workers
-// goroutines — the l^k simultaneous probes of PF-AP (§IV-C). Results are in
-// input order.
+// SolveBatch solves the CO problems concurrently — the l^k simultaneous
+// probes of PF-AP (§IV-C). Results are in input order. Probes and the starts
+// inside each probe draw workers from the same bounded pool, so the probe ×
+// start product saturates Workers without oversubscribing it.
 func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
 	out := make([]solver.Result, len(cos))
-	workers := s.cfg.Workers
-	if workers > len(cos) {
-		workers = len(cos)
+	for _, co := range cos {
+		s.checkBounds(co)
 	}
-	if workers <= 1 {
-		for i, co := range cos {
-			sol, ok := s.Solve(co, seed+int64(i)*7919)
+	var next int64 = -1
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1))
+			if i >= len(cos) {
+				break
+			}
+			sol, ok := s.Solve(cos[i], seed+int64(i)*7919)
 			out[i] = solver.Result{Sol: sol, OK: ok}
 		}
-		return out
 	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				sol, ok := s.Solve(cos[i], seed+int64(i)*7919)
-				out[i] = solver.Result{Sol: sol, OK: ok}
-			}
-		}()
-	}
-	for i := range cos {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
+	s.fanOut(len(cos)-1, work)
 	return out
 }
 

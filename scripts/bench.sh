@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench.sh — run the solver hot-path benchmark suite and record the numbers
+# in BENCH_solver.json at the repo root.
+#
+# Usage: scripts/bench.sh [label]
+#
+# The label defaults to the current git short hash. Each invocation appends
+# one run (ns/op, B/op, allocs/op per benchmark) to the "runs" array, so the
+# committed file accumulates a tracked history of before/after measurements;
+# regressions show up as a diff. Delete the file to start a fresh history.
+#
+# Covered benchmarks:
+#   internal/model/dnn   Predict / Gradient / ValueGrad / PredictVar
+#   internal/solver/mogd MOGDSolve / MOGDSolveSerial / MOGDSolveBatch
+#   internal/core        Sequential / Parallel  (PF-S / PF-AP end to end)
+set -eu
+
+cd "$(dirname "$0")/.."
+OUT=BENCH_solver.json
+LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'Predict|Gradient|ValueGrad' -benchmem -benchtime 1s ./internal/model/dnn/ >>"$RAW"
+go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
+go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime 1s ./internal/core/ >>"$RAW"
+
+CPU=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$RAW")
+
+# Benchmark lines look like:
+#   BenchmarkPredict  34866  34635 ns/op  0 B/op  0 allocs/op
+RUN=$(awk -v label="$LABEL" -v cpu="$CPU" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { printf "    {\n      \"label\": \"%s\",\n      \"cpu\": \"%s\",\n      \"go\": \"%s\",\n      \"benchmarks\": {\n", label, cpu, gover }
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "        \"%s\": {\"pkg\": \"%s\", \"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", name, pkg, $3, $5, $7
+}
+END { printf "\n      }\n    }" }' "$RAW")
+
+if [ -f "$OUT" ]; then
+    # Append to the runs array of the existing (self-generated) file: drop the
+    # closing "  ]\n}" and splice the new run in.
+    TMP=$(mktemp)
+    head -n -2 "$OUT" | sed '$ s/$/,/' >"$TMP"
+    printf '%s\n  ]\n}\n' "$RUN" >>"$TMP"
+    mv "$TMP" "$OUT"
+else
+    printf '{\n  "schema": "udao-bench/v1",\n  "runs": [\n%s\n  ]\n}\n' "$RUN" >"$OUT"
+fi
+
+echo "recorded run \"$LABEL\" in $OUT"

@@ -1,0 +1,27 @@
+#!/bin/sh
+# ci.sh — the repo's verification gate. Run before every commit.
+#
+#   1. gofmt lint (no unformatted files)
+#   2. go vet + full build
+#   3. race-detector pass over the concurrent hot paths (solver, models, core)
+#   4. full test suite
+#   5. benchmark smoke: one iteration of the MOGD benchmarks, so a broken
+#      benchmark harness fails CI instead of the next perf investigation
+set -eu
+
+cd "$(dirname "$0")/.."
+
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./internal/solver/... ./internal/model/... ./internal/core/...
+go test ./...
+go test -run '^$' -bench MOGD -benchtime 1x ./internal/solver/mogd/
+
+echo "ci: all gates passed"
