@@ -79,11 +79,17 @@ type Options struct {
 // Snapshot reports the state of a PF run after a probe.
 type Snapshot struct {
 	Probes        int                  // probes issued so far
+	Evals         uint64               // model passes by the solver's evaluator (0 if untracked)
 	Elapsed       time.Duration        // wall-clock since the run started
 	UncertainFrac float64              // remaining uncertain space / initial volume
 	FrontierSize  int                  // Pareto points found so far (pre-filter)
 	Frontier      []objective.Solution // dominance-filtered frontier so far
 }
+
+// evalCounter is the optional capability solvers built on problem.Evaluator
+// expose; snapshots include their model-pass count for the §VI efficiency
+// axis.
+type evalCounter interface{ Evals() uint64 }
 
 func (o *Options) defaults(k int) {
 	if o.Probes == 0 {
@@ -253,8 +259,13 @@ func (r *run) report() {
 	if r.initVol > 0 {
 		frac = r.queueVol / r.initVol
 	}
+	var evals uint64
+	if ec, ok := r.s.(evalCounter); ok {
+		evals = ec.Evals()
+	}
 	r.opt.OnProgress(Snapshot{
 		Probes:        r.probes,
+		Evals:         evals,
 		Elapsed:       time.Since(r.start),
 		UncertainFrac: frac,
 		FrontierSize:  len(r.plans),

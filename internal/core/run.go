@@ -89,6 +89,15 @@ func (u *Run) Probes() int {
 	return u.st.probes
 }
 
+// Evals returns the solver's model-pass count when the solver exposes one
+// (solvers built on problem.Evaluator do), and 0 otherwise.
+func (u *Run) Evals() uint64 {
+	if ec, ok := u.s.(evalCounter); ok {
+		return ec.Evals()
+	}
+	return 0
+}
+
 // UncertainFrac returns the fraction of the initial hyperrectangle volume
 // still unresolved (1 before initialization, 0 when exhausted).
 func (u *Run) UncertainFrac() float64 {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/modelserver"
 	"repro/internal/moo"
 	"repro/internal/objective"
+	"repro/internal/problem"
 	"repro/internal/solver/mogd"
 	"repro/internal/space"
 	"repro/internal/spark"
@@ -307,9 +308,11 @@ func (l *Lab) StreamSetup(id int, kind ModelKind, threeD bool) (*Setup, error) {
 
 // modelBox sweeps the models over a Halton sample of the lattice to bound
 // the objective space — the shared box all methods' uncertain-space
-// measurements use.
+// measurements use. The sweep runs through a batch evaluator, so the sample
+// is computed in parallel and lattice collisions from rounding hit the memo.
 func modelBox(models []model.Model, spc *space.Space, samples int) (utopia, nadir objective.Point) {
-	var pts []objective.Point
+	ev := problem.NewEvaluator(problem.MustNew(models, spc), problem.Options{})
+	var xs [][]float64
 	x := make([]float64, spc.Dim())
 	for i := 0; i < samples; i++ {
 		for d := range x {
@@ -319,9 +322,9 @@ func modelBox(models []model.Model, spc *space.Space, samples int) (utopia, nadi
 		if err != nil {
 			continue
 		}
-		pts = append(pts, moo.EvalAll(models, rx))
+		xs = append(xs, rx)
 	}
-	return objective.Bounds(pts)
+	return objective.Bounds(ev.EvalBatch(xs))
 }
 
 var haltonPrimes = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71}

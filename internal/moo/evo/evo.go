@@ -13,16 +13,21 @@ import (
 	"math"
 	"math/rand"
 	"sort"
-	"time"
 
 	"repro/internal/model"
 	"repro/internal/moo"
 	"repro/internal/objective"
+	"repro/internal/problem"
 )
 
 // Method is the NSGA-II baseline.
 type Method struct {
 	Objectives []model.Model
+	// Evaluator, when non-nil, is used instead of building one over
+	// Objectives — injected by callers that share a memo cache and
+	// evaluation counter across methods. Whole generations are evaluated
+	// through its batch path.
+	Evaluator *problem.Evaluator
 	// Pop is the population size. Zero sizes the population to the
 	// requested point count (min 20, rounded up to even): NSGA-II's final
 	// front is capped by its population, so "requesting N Pareto points"
@@ -45,7 +50,7 @@ type Method struct {
 // Name implements moo.Method.
 func (m *Method) Name() string { return "Evo" }
 
-func (m *Method) defaults(points int) {
+func (m *Method) defaults(points, dim int) {
 	if m.Pop == 0 {
 		m.Pop = points
 		if m.Pop < 20 {
@@ -68,7 +73,7 @@ func (m *Method) defaults(points int) {
 		m.EtaM = 20
 	}
 	if m.PMut == 0 {
-		m.PMut = 1 / float64(m.Objectives[0].Dim())
+		m.PMut = 1 / float64(dim)
 	}
 }
 
@@ -81,50 +86,58 @@ type indiv struct {
 
 // Run implements moo.Method.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
-	m.defaults(opt.Points)
-	start := time.Now()
+	tr := opt.Track()
+	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
+	if err != nil {
+		return nil, err
+	}
+	dim := ev.Dim()
+	m.defaults(opt.Points, dim)
 	rng := rand.New(rand.NewSource(opt.Seed))
-	dim := m.Objectives[0].Dim()
 
-	pop := make([]indiv, m.Pop)
-	for i := range pop {
+	// Evaluate a whole cohort through the evaluator's batch path: one worker
+	// pool per generation instead of per-individual model calls.
+	evalCohort := func(xs [][]float64) []indiv {
+		fs := ev.EvalBatch(xs)
+		out := make([]indiv, len(xs))
+		for i := range xs {
+			out[i] = indiv{x: xs[i], f: fs[i]}
+		}
+		return out
+	}
+
+	seeds := make([][]float64, m.Pop)
+	for i := range seeds {
 		x := make([]float64, dim)
 		for d := range x {
 			x[d] = rng.Float64()
 		}
-		pop[i] = indiv{x: x, f: moo.EvalAll(m.Objectives, x)}
+		seeds[i] = x
 	}
+	pop := evalCohort(seeds)
 	rankAndCrowd(pop)
-
-	report := func() {
-		if opt.OnProgress != nil {
-			opt.OnProgress(time.Since(start), frontier(pop))
-		}
-	}
 
 	gens := m.GensPerPoint * opt.Points
 	if gens < m.MinGens {
 		gens = m.MinGens
 	}
 	for g := 0; g < gens; g++ {
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if tr.Expired() {
 			break
 		}
-		children := make([]indiv, 0, m.Pop)
-		for len(children) < m.Pop {
+		offspring := make([][]float64, 0, m.Pop)
+		for len(offspring) < m.Pop {
 			p1 := tournament(pop, rng)
 			p2 := tournament(pop, rng)
 			c1, c2 := m.sbx(p1.x, p2.x, rng)
 			m.mutate(c1, rng)
 			m.mutate(c2, rng)
-			children = append(children,
-				indiv{x: c1, f: moo.EvalAll(m.Objectives, c1)},
-				indiv{x: c2, f: moo.EvalAll(m.Objectives, c2)})
+			offspring = append(offspring, c1, c2)
 		}
-		pop = survive(append(pop, children...), m.Pop)
-		report()
+		pop = survive(append(pop, evalCohort(offspring)...), m.Pop)
+		tr.Report(frontier(pop))
 	}
-	return frontier(pop), nil
+	return tr.Finish(frontier(pop)), nil
 }
 
 // frontier extracts the rank-0 individuals as a filtered solution set.

@@ -20,12 +20,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"repro/internal/model"
 	"repro/internal/model/gp"
 	"repro/internal/moo"
 	"repro/internal/objective"
+	"repro/internal/problem"
 )
 
 // Acquisition selects the acquisition function.
@@ -40,7 +40,13 @@ const (
 // Method is a MOBO baseline.
 type Method struct {
 	Objectives []model.Model
-	Acq        Acquisition
+	// Evaluator, when non-nil, is used instead of building one over
+	// Objectives — injected by callers that share a memo cache and
+	// evaluation counter across methods. Only true-function observations go
+	// through it; the GP surrogates' own posterior queries do not (they are
+	// not evaluations of the problem).
+	Evaluator *problem.Evaluator
+	Acq       Acquisition
 	// Init is the initial random design size (default 2D+1).
 	Init int
 	// Candidates is the number of random acquisition candidates per
@@ -65,8 +71,7 @@ func (m *Method) Name() string {
 	return "qEHVI"
 }
 
-func (m *Method) defaults() {
-	d := m.Objectives[0].Dim()
+func (m *Method) defaults(d int) {
 	if m.Init == 0 {
 		m.Init = 2*d + 1
 	}
@@ -91,11 +96,15 @@ func (m *Method) defaults() {
 
 // Run implements moo.Method.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
-	m.defaults()
-	start := time.Now()
+	tr := opt.Track()
+	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
+	if err != nil {
+		return nil, err
+	}
+	dim := ev.Dim()
+	k := ev.NumObjectives()
+	m.defaults(dim)
 	rng := rand.New(rand.NewSource(opt.Seed))
-	dim := m.Objectives[0].Dim()
-	k := len(m.Objectives)
 
 	var X [][]float64
 	var F []objective.Point
@@ -105,20 +114,15 @@ func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 			x[d] = rng.Float64()
 		}
 		X = append(X, x)
-		F = append(F, moo.EvalAll(m.Objectives, x))
+		F = append(F, ev.Eval(x))
 	}
 
-	report := func() {
-		if opt.OnProgress != nil {
-			opt.OnProgress(time.Since(start), currentFrontier(X, F))
-		}
-	}
 	// The initial design is not reported: MOBO has not "returned" anything
 	// until its first acquisition round completes (cf. Fig. 4(d), where
 	// qEHVI needs 48 s to the first Pareto set).
 
 	for it := 0; it < opt.Points; it++ {
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if tr.Expired() {
 			break
 		}
 		// Refit one GP per objective on all observations.
@@ -143,10 +147,10 @@ func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 			next = m.qehviNext(gps, F, utopia, nadir, rng)
 		}
 		X = append(X, next)
-		F = append(F, moo.EvalAll(m.Objectives, next))
-		report()
+		F = append(F, ev.Eval(next))
+		tr.Report(currentFrontier(X, F))
 	}
-	return currentFrontier(X, F), nil
+	return tr.Finish(currentFrontier(X, F)), nil
 }
 
 func currentFrontier(X [][]float64, F []objective.Point) []objective.Solution {

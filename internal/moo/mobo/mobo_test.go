@@ -64,8 +64,8 @@ func TestPESMSlowerThanQEHVI(t *testing.T) {
 		t.Logf("warning: PESM (%v) not slower than qEHVI (%v) on this machine", tp, tq)
 	}
 	// At minimum PESM's configured MC budget must exceed qEHVI's.
-	q.defaults()
-	p.defaults()
+	q.defaults(lat.Dim())
+	p.defaults(lat.Dim())
 	if p.MCSamples <= q.MCSamples || p.Candidates <= q.Candidates {
 		t.Fatal("PESM must be configured with a larger MC budget than qEHVI")
 	}

@@ -5,6 +5,11 @@
 // (mobo, covering qEHVI- and PESM-style acquisitions). The Progressive
 // Frontier algorithms live in internal/core and are adapted to this
 // interface by the experiment harness.
+//
+// All methods evaluate objectives exclusively through a problem.Evaluator —
+// the repository-wide evaluation seam — so they inherit the fused
+// value+gradient hot path, batch evaluation, memoization, and a comparable
+// evaluation count.
 package moo
 
 import (
@@ -14,6 +19,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/objective"
+	"repro/internal/problem"
 )
 
 // Options controls a baseline run.
@@ -22,10 +28,17 @@ type Options struct {
 	Points int
 	// Seed drives all randomized components.
 	Seed int64
-	// TimeBudget optionally caps wall-clock time; zero means unlimited.
+	// TimeBudget optionally caps wall-clock time; zero means unlimited. The
+	// budget is checked between units of work (a scalarized solve, a
+	// sub-problem, a generation, an acquisition round) — the unit in flight
+	// is never interrupted, so runs may overshoot by one unit.
 	TimeBudget time.Duration
 	// OnProgress, when non-nil, is invoked whenever the method's frontier
-	// estimate changes, with the elapsed time and the current frontier.
+	// estimate changes, with the elapsed time and the current
+	// dominance-filtered frontier. Every method additionally emits exactly
+	// one final callback with the frontier it is about to return — also when
+	// the time budget cut the run short — so observers always see the
+	// terminal state.
 	OnProgress func(elapsed time.Duration, frontier []objective.Solution)
 }
 
@@ -38,25 +51,79 @@ type Method interface {
 	Run(opt Options) ([]objective.Solution, error)
 }
 
-// EvalAll evaluates every objective at x.
-func EvalAll(objs []model.Model, x []float64) objective.Point {
-	f := make(objective.Point, len(objs))
-	for j, m := range objs {
-		f[j] = m.Predict(x)
+// Tracker is the shared TimeBudget/OnProgress plumbing of Options,
+// implementing the contract documented there so the four baselines cannot
+// drift apart. Obtain one per Run via Options.Track.
+type Tracker struct {
+	clock problem.Clock
+	cb    func(elapsed time.Duration, frontier []objective.Solution)
+}
+
+// Track starts the run's clock and returns its tracker.
+func (o Options) Track() *Tracker {
+	return &Tracker{clock: problem.StartClock(o.TimeBudget), cb: o.OnProgress}
+}
+
+// Expired reports whether the time budget is exhausted.
+func (t *Tracker) Expired() bool { return t.clock.Expired() }
+
+// Elapsed returns the wall-clock time since Run started.
+func (t *Tracker) Elapsed() time.Duration { return t.clock.Elapsed() }
+
+// Report emits a progress callback with the current frontier estimate.
+func (t *Tracker) Report(frontier []objective.Solution) {
+	if t.cb != nil {
+		t.cb(t.clock.Elapsed(), frontier)
 	}
-	return f
+}
+
+// Finish emits the mandatory final callback and returns the frontier, so a
+// Run can end with "return tr.Finish(front), nil".
+func (t *Tracker) Finish(frontier []objective.Solution) []objective.Solution {
+	t.Report(frontier)
+	return frontier
+}
+
+// Evaluator returns ev when non-nil and otherwise builds a fresh evaluator
+// over the models — the migration shim that lets Method structs accept an
+// injected evaluator (sharing its memo cache and counters with the caller)
+// while keeping plain model-list construction working.
+func Evaluator(ev *problem.Evaluator, objs []model.Model) (*problem.Evaluator, error) {
+	if ev != nil {
+		return ev, nil
+	}
+	p, err := problem.New(objs, nil)
+	if err != nil {
+		return nil, err
+	}
+	return problem.NewEvaluator(p, problem.Options{}), nil
 }
 
 // MinimizeSingle runs multi-start Adam on one objective over [0,1]^D — the
 // anchor-point subroutine shared by WS and NC (the individual minima that
 // define the utopia geometry of both methods).
+//
+// Each iteration costs exactly one fused ValueGrad pass (§IV-B hot path);
+// the value of every iterate comes for free with its gradient, so the best
+// point seen anywhere on a trajectory — not just its endpoint — becomes the
+// start's candidate. All per-iteration buffers are hoisted, so the inner
+// loop does not allocate.
 func MinimizeSingle(m model.Model, starts, iters int, lr float64, rng *rand.Rand) ([]float64, float64) {
-	g := model.EnsureGradient(m)
+	vg := model.EnsureValueGrad(m)
 	dim := m.Dim()
 	bestX := make([]float64, dim)
 	bestF := math.Inf(1)
+	x := make([]float64, dim)
+	grad := make([]float64, dim)
+	mA := make([]float64, dim)
+	vA := make([]float64, dim)
+	consider := func(f float64) {
+		if f < bestF {
+			bestF = f
+			copy(bestX, x)
+		}
+	}
 	for s := 0; s < starts; s++ {
-		x := make([]float64, dim)
 		if s == 0 {
 			for d := range x {
 				x[d] = 0.5
@@ -66,35 +133,39 @@ func MinimizeSingle(m model.Model, starts, iters int, lr float64, rng *rand.Rand
 				x[d] = rng.Float64()
 			}
 		}
-		mA := make([]float64, dim)
-		vA := make([]float64, dim)
+		for d := range mA {
+			mA[d] = 0
+			vA[d] = 0
+		}
 		const b1, b2, eps = 0.9, 0.999, 1e-8
 		for it := 1; it <= iters; it++ {
-			grad := g.Gradient(x)
+			f, g := vg.ValueGrad(x, grad)
+			consider(f)
 			t := float64(it)
+			c1 := 1 - math.Pow(b1, t)
+			c2 := 1 - math.Pow(b2, t)
 			for d := range x {
-				gv := grad[d]
+				gv := g[d]
 				mA[d] = b1*mA[d] + (1-b1)*gv
 				vA[d] = b2*vA[d] + (1-b2)*gv*gv
-				step := lr * (mA[d] / (1 - math.Pow(b1, t))) / (math.Sqrt(vA[d]/(1-math.Pow(b2, t))) + eps)
+				step := lr * (mA[d] / c1) / (math.Sqrt(vA[d]/c2) + eps)
 				x[d] = clamp01(x[d] - step)
 			}
 		}
-		if f := m.Predict(x); f < bestF {
-			bestF = f
-			copy(bestX, x)
-		}
+		f, _ := vg.ValueGrad(x, grad)
+		consider(f)
 	}
 	return bestX, bestF
 }
 
 // Anchors computes the k per-objective minima and the resulting global
-// Utopia/Nadir box over the anchor points.
-func Anchors(objs []model.Model, starts, iters int, lr float64, rng *rand.Rand) (sols []objective.Solution, utopia, nadir objective.Point) {
-	refs := make([]objective.Point, 0, len(objs))
-	for _, m := range objs {
-		x, _ := MinimizeSingle(m, starts, iters, lr, rng)
-		f := EvalAll(objs, x)
+// Utopia/Nadir box over the anchor points, evaluating through ev.
+func Anchors(ev *problem.Evaluator, starts, iters int, lr float64, rng *rand.Rand) (sols []objective.Solution, utopia, nadir objective.Point) {
+	k := ev.NumObjectives()
+	refs := make([]objective.Point, 0, k)
+	for j := 0; j < k; j++ {
+		x, _ := MinimizeSingle(ev.Objective(j), starts, iters, lr, rng)
+		f := ev.Eval(x)
 		sols = append(sols, objective.Solution{F: f, X: x})
 		refs = append(refs, f)
 	}

@@ -35,8 +35,12 @@ func TestMinimizeSingleBoundary(t *testing.T) {
 
 func TestAnchors(t *testing.T) {
 	lat, cost := analytic.PaperExample()
+	ev, err := Evaluator(nil, []model.Model{lat, cost})
+	if err != nil {
+		t.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(3))
-	sols, utopia, nadir := Anchors([]model.Model{lat, cost}, 6, 200, 0.05, rng)
+	sols, utopia, nadir := Anchors(ev, 6, 200, 0.05, rng)
 	if len(sols) != 2 {
 		t.Fatalf("anchors = %d, want 2", len(sols))
 	}
@@ -47,12 +51,22 @@ func TestAnchors(t *testing.T) {
 	if math.Abs(nadir[0]-2400) > 100 || math.Abs(nadir[1]-24) > 1 {
 		t.Fatalf("nadir = %v", nadir)
 	}
+	if ev.Evals() == 0 {
+		t.Fatal("anchor search must count evaluations")
+	}
 }
 
-func TestEvalAll(t *testing.T) {
+func TestEvaluatorShim(t *testing.T) {
 	lat, cost := analytic.PaperExample()
-	f := EvalAll([]model.Model{lat, cost}, []float64{1})
+	ev, err := Evaluator(nil, []model.Model{lat, cost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Evaluator(ev, nil); err != nil || got != ev {
+		t.Fatalf("shim must pass through an injected evaluator (got %p, want %p, err %v)", got, ev, err)
+	}
+	f := ev.Eval([]float64{1})
 	if f[0] != 100 || f[1] != 24 {
-		t.Fatalf("EvalAll = %v", f)
+		t.Fatalf("Eval = %v", f)
 	}
 }

@@ -1,0 +1,27 @@
+package nc
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/model/analytic"
+	"repro/internal/moo"
+)
+
+// BenchmarkNCRun measures one full Normalized Normal Constraint run — anchors
+// plus one penalty-method sub-problem per plane point — over the paper's 2D
+// toy models. Each sub-problem iteration needs every objective's value and
+// gradient, so this benchmark tracks both the fused-evaluation win and the
+// inner-loop allocation discipline.
+func BenchmarkNCRun(b *testing.B) {
+	lat, cost := analytic.PaperExample2D()
+	m := &Method{Objectives: []model.Model{lat, cost}, Starts: 4, Iters: 50}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		front, err := m.Run(moo.Options{Points: 5, Seed: 1})
+		if err != nil || len(front) == 0 {
+			b.Fatalf("run failed: %v (%d points)", err, len(front))
+		}
+	}
+}

@@ -14,16 +14,20 @@ package nc
 import (
 	"math"
 	"math/rand"
-	"time"
 
 	"repro/internal/model"
 	"repro/internal/moo"
 	"repro/internal/objective"
+	"repro/internal/problem"
 )
 
 // Method is the Normalized Normal Constraint baseline.
 type Method struct {
-	Objectives    []model.Model
+	Objectives []model.Model
+	// Evaluator, when non-nil, is used instead of building one over
+	// Objectives — injected by callers that share a memo cache and
+	// evaluation counter across methods.
+	Evaluator     *problem.Evaluator
 	Starts, Iters int
 	LR            float64
 	// Penalty is the constraint-violation weight (default 50).
@@ -51,10 +55,14 @@ func (m *Method) defaults() {
 // Run implements moo.Method.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 	m.defaults()
-	start := time.Now()
+	tr := opt.Track()
+	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	k := len(m.Objectives)
-	anchorSols, utopia, nadir := moo.Anchors(m.Objectives, m.Starts, m.Iters, m.LR, rng)
+	k := ev.NumObjectives()
+	anchorSols, utopia, nadir := moo.Anchors(ev, m.Starts, m.Iters, m.LR, rng)
 
 	// Normalized anchor points.
 	anchors := make([]objective.Point, k)
@@ -72,15 +80,11 @@ func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 	}
 
 	found := append([]objective.Solution(nil), anchorSols...)
-	report := func() {
-		if opt.OnProgress != nil {
-			opt.OnProgress(time.Since(start), objective.Filter(found))
-		}
-	}
-	report()
+	tr.Report(objective.Filter(found))
 
+	sub := m.newSubSolver(ev, normals, utopia, nadir)
 	for _, lambda := range planeWeights(opt.Points, k) {
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if tr.Expired() {
 			break
 		}
 		// Point on the utopia hyperplane: Xp = Σ λ_i · anchor_i.
@@ -90,12 +94,12 @@ func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 				xp[d] += lambda[i] * anchors[i][d]
 			}
 		}
-		if x, ok := m.solveSub(xp, normals, utopia, nadir, rng); ok {
-			found = append(found, objective.Solution{F: moo.EvalAll(m.Objectives, x), X: x})
+		if x, ok := sub.solve(xp, rng); ok {
+			found = append(found, objective.Solution{F: ev.Eval(x), X: x})
 		}
-		report()
+		tr.Report(objective.Filter(found))
 	}
-	return objective.Filter(found), nil
+	return tr.Finish(objective.Filter(found)), nil
 }
 
 // planeWeights enumerates n convex-combination weights over the k anchors —
@@ -139,98 +143,149 @@ func simplexCount(h, k int) int {
 	return n
 }
 
-// solveSub minimizes F̄_k subject to N_j·(F̄ − Xp) ≤ 0 via Adam on a penalty
-// loss. ok is false when the constraints remain violated at every start.
-func (m *Method) solveSub(xp objective.Point, normals [][]float64, utopia, nadir objective.Point, rng *rand.Rand) ([]float64, bool) {
-	k := len(m.Objectives)
-	dim := m.Objectives[0].Dim()
-	grads := make([]model.Gradienter, k)
-	for i, o := range m.Objectives {
-		grads[i] = model.EnsureGradient(o)
-	}
-	span := func(j int) float64 {
-		s := nadir[j] - utopia[j]
-		if s <= 0 {
-			return 1
-		}
-		return s
-	}
-	normF := func(x []float64) objective.Point {
-		f := moo.EvalAll(m.Objectives, x)
-		return objective.Normalize(f, utopia, nadir)
-	}
+// subSolver holds the shared geometry and reusable buffers for the
+// penalty-method sub-problems. Each solve iteration costs one fused
+// ValueGrad pass per objective — value and gradient together — instead of
+// the separate EvalAll + Gradient sweeps of the unfused implementation, and
+// all per-iteration state lives in hoisted buffers, so the inner loop does
+// not allocate.
+type subSolver struct {
+	m             *Method
+	ev            *problem.Evaluator
+	normals       [][]float64
+	utopia, nadir objective.Point
+	// Hoisted scratch, reused across iterations and starts.
+	x, mA, vA  []float64
+	grad, gbuf []float64
+	f, fb      objective.Point
+	fgrads     [][]float64 // per-objective input gradients at the iterate
+	coeff      []float64
+}
 
+func (m *Method) newSubSolver(ev *problem.Evaluator, normals [][]float64, utopia, nadir objective.Point) *subSolver {
+	k := ev.NumObjectives()
+	dim := ev.Dim()
+	s := &subSolver{
+		m: m, ev: ev, normals: normals, utopia: utopia, nadir: nadir,
+		x: make([]float64, dim), mA: make([]float64, dim), vA: make([]float64, dim),
+		grad: make([]float64, dim), gbuf: make([]float64, dim),
+		f: make(objective.Point, k), fb: make(objective.Point, k),
+		coeff: make([]float64, k),
+	}
+	s.fgrads = make([][]float64, k)
+	for j := range s.fgrads {
+		s.fgrads[j] = make([]float64, dim)
+	}
+	return s
+}
+
+func (s *subSolver) span(j int) float64 {
+	sp := s.nadir[j] - s.utopia[j]
+	if sp <= 0 {
+		return 1
+	}
+	return sp
+}
+
+// normalize writes the [utopia, nadir]-normalized form of s.f into s.fb.
+func (s *subSolver) normalize() {
+	for j := range s.f {
+		s.fb[j] = (s.f[j] - s.utopia[j]) / s.span(j)
+	}
+}
+
+// solve minimizes F̄_k subject to N_j·(F̄ − Xp) ≤ 0 via Adam on a penalty
+// loss. ok is false when the constraints remain violated at every start.
+func (s *subSolver) solve(xp objective.Point, rng *rand.Rand) ([]float64, bool) {
+	k := s.ev.NumObjectives()
+	dim := s.ev.Dim()
 	var bestX []float64
 	bestVal := math.Inf(1)
-	for s := 0; s < m.Starts; s++ {
-		x := make([]float64, dim)
-		if s == 0 {
-			for d := range x {
-				x[d] = 0.5
+	for st := 0; st < s.m.Starts; st++ {
+		if st == 0 {
+			for d := range s.x {
+				s.x[d] = 0.5
 			}
 		} else {
-			for d := range x {
-				x[d] = rng.Float64()
+			for d := range s.x {
+				s.x[d] = rng.Float64()
 			}
 		}
-		mA := make([]float64, dim)
-		vA := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			s.mA[d] = 0
+			s.vA[d] = 0
+		}
 		const b1, b2, eps = 0.9, 0.999, 1e-8
-		for it := 1; it <= m.Iters; it++ {
-			fb := normF(x)
+		for it := 1; it <= s.m.Iters; it++ {
+			// One fused pass per objective: values for the constraint terms,
+			// gradients for the descent direction.
+			for j := 0; j < k; j++ {
+				s.f[j], _ = s.ev.ObjValueGrad(j, s.x, s.fgrads[j])
+			}
+			s.normalize()
 			// dL/dF̄_j coefficients.
-			coeff := make([]float64, k)
-			coeff[k-1] = 1 // target: minimize normalized last objective
-			for _, n := range normals {
+			for j := range s.coeff {
+				s.coeff[j] = 0
+			}
+			s.coeff[k-1] = 1 // target: minimize normalized last objective
+			for _, n := range s.normals {
 				viol := 0.0
 				for d := 0; d < k; d++ {
-					viol += n[d] * (fb[d] - xp[d])
+					viol += n[d] * (s.fb[d] - xp[d])
 				}
 				if viol > 0 {
 					for d := 0; d < k; d++ {
-						coeff[d] += 2 * m.Penalty * viol * n[d]
+						s.coeff[d] += 2 * s.m.Penalty * viol * n[d]
 					}
 				}
 			}
-			grad := make([]float64, dim)
+			for d := range s.grad {
+				s.grad[d] = 0
+			}
 			for j := 0; j < k; j++ {
-				if coeff[j] == 0 {
+				if s.coeff[j] == 0 {
 					continue
 				}
-				g := grads[j].Gradient(x)
-				c := coeff[j] / span(j)
-				for d := range grad {
-					grad[d] += c * g[d]
+				c := s.coeff[j] / s.span(j)
+				g := s.fgrads[j]
+				for d := range s.grad {
+					s.grad[d] += c * g[d]
 				}
 			}
 			t := float64(it)
-			for d := range x {
-				gv := grad[d]
-				mA[d] = b1*mA[d] + (1-b1)*gv
-				vA[d] = b2*vA[d] + (1-b2)*gv*gv
-				step := m.LR * (mA[d] / (1 - math.Pow(b1, t))) / (math.Sqrt(vA[d]/(1-math.Pow(b2, t))) + eps)
-				x[d] = clamp01(x[d] - step)
+			c1 := 1 - math.Pow(b1, t)
+			c2 := 1 - math.Pow(b2, t)
+			for d := range s.x {
+				gv := s.grad[d]
+				s.mA[d] = b1*s.mA[d] + (1-b1)*gv
+				s.vA[d] = b2*s.vA[d] + (1-b2)*gv*gv
+				step := s.m.LR * (s.mA[d] / c1) / (math.Sqrt(s.vA[d]/c2) + eps)
+				s.x[d] = clamp01(s.x[d] - step)
 			}
 		}
 		// Accept only constraint-satisfying finishes.
-		fb := normF(x)
+		s.ev.EvalInto(s.x, s.f)
+		s.normalize()
 		feasible := true
-		for _, n := range normals {
+		for _, n := range s.normals {
 			viol := 0.0
 			for d := 0; d < k; d++ {
-				viol += n[d] * (fb[d] - xp[d])
+				viol += n[d] * (s.fb[d] - xp[d])
 			}
 			if viol > 1e-3 {
 				feasible = false
 				break
 			}
 		}
-		if feasible && fb[k-1] < bestVal {
-			bestVal = fb[k-1]
-			bestX = append([]float64(nil), x...)
+		if feasible && s.fb[k-1] < bestVal {
+			bestVal = s.fb[k-1]
+			bestX = append(bestX[:0], s.x...)
 		}
 	}
-	return bestX, bestX != nil
+	if bestX == nil {
+		return nil, false
+	}
+	return append([]float64(nil), bestX...), true
 }
 
 func clamp01(v float64) float64 {

@@ -8,16 +8,20 @@ package ws
 
 import (
 	"math/rand"
-	"time"
 
 	"repro/internal/model"
 	"repro/internal/moo"
 	"repro/internal/objective"
+	"repro/internal/problem"
 )
 
 // Method is the Weighted Sum baseline.
 type Method struct {
 	Objectives []model.Model
+	// Evaluator, when non-nil, is used instead of building one over
+	// Objectives — injected by callers that share a memo cache and
+	// evaluation counter across methods.
+	Evaluator *problem.Evaluator
 	// Starts and Iters control the inner gradient-descent solver per weight
 	// vector (defaults 8 and 150; WS needs generous effort per scalarized
 	// problem, which is what makes it slow end-to-end).
@@ -92,42 +96,48 @@ func count(h, k int) int {
 // objectives normalized by the anchor-point box so weights are comparable.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 	m.defaults()
-	start := time.Now()
+	tr := opt.Track()
+	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
+	if err != nil {
+		return nil, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	k := len(m.Objectives)
-	anchorSols, utopia, nadir := moo.Anchors(m.Objectives, m.Starts, m.Iters, m.LR, rng)
+	k := ev.NumObjectives()
+	anchorSols, utopia, nadir := moo.Anchors(ev, m.Starts, m.Iters, m.LR, rng)
 
 	var found []objective.Solution
 	found = append(found, anchorSols...)
-	report := func() {
-		if opt.OnProgress != nil {
-			opt.OnProgress(time.Since(start), objective.Filter(found))
-		}
-	}
-	report()
+	tr.Report(objective.Filter(found))
 
+	scalar := &weighted{ev: ev, utopia: utopia, nadir: nadir, gbuf: make([]float64, ev.Dim())}
 	for _, w := range weightVectors(opt.Points, k) {
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if tr.Expired() {
 			break
 		}
-		scalar := weighted{objs: m.Objectives, w: w, utopia: utopia, nadir: nadir}
+		scalar.w = w
 		x, _ := moo.MinimizeSingle(scalar, m.Starts, m.Iters, m.LR, rng)
-		found = append(found, objective.Solution{F: moo.EvalAll(m.Objectives, x), X: x})
-		report()
+		found = append(found, objective.Solution{F: ev.Eval(x), X: x})
+		tr.Report(objective.Filter(found))
 	}
-	return objective.Filter(found), nil
+	return tr.Finish(objective.Filter(found)), nil
 }
 
-// weighted is the scalarized objective Σ w_i·F̂_i with analytic gradients.
+// weighted is the scalarized objective Σ w_i·F̂_i over the evaluator's fused
+// per-objective path: one ValueGrad pass per objective yields both the
+// scalarized value and its gradient, replacing the separate Predict +
+// Gradient sweeps of the unfused implementation. gbuf is the per-objective
+// gradient scratch (Run solves weight vectors sequentially, so one buffer
+// suffices).
 type weighted struct {
-	objs          []model.Model
+	ev            *problem.Evaluator
 	w             []float64
 	utopia, nadir objective.Point
+	gbuf          []float64
 }
 
-func (s weighted) Dim() int { return s.objs[0].Dim() }
+func (s *weighted) Dim() int { return s.ev.Dim() }
 
-func (s weighted) scale(j int) float64 {
+func (s *weighted) scale(j int) float64 {
 	span := s.nadir[j] - s.utopia[j]
 	if span <= 0 {
 		span = 1
@@ -135,27 +145,36 @@ func (s weighted) scale(j int) float64 {
 	return span
 }
 
-func (s weighted) Predict(x []float64) float64 {
-	v := 0.0
-	for j, m := range s.objs {
-		v += s.w[j] * (m.Predict(x) - s.utopia[j]) / s.scale(j)
-	}
+func (s *weighted) Predict(x []float64) float64 {
+	v, _ := s.ValueGrad(x, nil)
 	return v
 }
 
-func (s weighted) Gradient(x []float64) []float64 {
-	out := make([]float64, s.Dim())
-	for j, m := range s.objs {
+func (s *weighted) Gradient(x []float64) []float64 {
+	_, g := s.ValueGrad(x, nil)
+	return g
+}
+
+// ValueGrad implements model.ValueGradienter: the scalarized value and
+// gradient from one fused pass per objective.
+func (s *weighted) ValueGrad(x, grad []float64) (float64, []float64) {
+	out := model.GradBuf(grad, s.Dim())
+	for d := range out {
+		out[d] = 0
+	}
+	v := 0.0
+	for j := range s.w {
 		if s.w[j] == 0 {
 			continue
 		}
-		g := model.EnsureGradient(m).Gradient(x)
+		fj, gj := s.ev.ObjValueGrad(j, x, s.gbuf)
 		c := s.w[j] / s.scale(j)
+		v += c * (fj - s.utopia[j])
 		for d := range out {
-			out[d] += c * g[d]
+			out[d] += c * gj[d]
 		}
 	}
-	return out
+	return v, out
 }
 
 func max(a, b int) int {

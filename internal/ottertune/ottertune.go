@@ -20,6 +20,8 @@ import (
 	"repro/internal/model"
 	"repro/internal/model/dnn"
 	"repro/internal/model/gp"
+	"repro/internal/objective"
+	"repro/internal/problem"
 	"repro/internal/space"
 	"repro/internal/trace"
 )
@@ -195,10 +197,20 @@ func (t *Tuner) RecommendMaximize(obs []trace.Entry, objectives []string, weight
 		}
 	}
 
+	// Candidate scoring goes through a problem.Evaluator over the fitted GPs:
+	// the same seam every other optimizer uses, which memoizes the
+	// lattice-rounded candidates the refinement sweeps revisit.
+	p, err := problem.New(gps, t.Spc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ottertune: %w", err)
+	}
+	ev := problem.NewEvaluator(p, problem.Options{})
+	f := make(objective.Point, len(gps))
 	score := func(x []float64) float64 {
+		ev.EvalInto(x, f)
 		s := 0.0
-		for j, g := range gps {
-			normalized := (g.Predict(x) - lo[j]) / (hi[j] - lo[j])
+		for j := range gps {
+			normalized := (f[j] - lo[j]) / (hi[j] - lo[j])
 			if maximize[j] {
 				s -= weights[j] * normalized
 			} else {

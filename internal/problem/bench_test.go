@@ -1,0 +1,95 @@
+package problem
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/model/dnn"
+)
+
+// benchEvaluator builds a 2-objective evaluator over DNN models — the same
+// model class behind the solver hot-path numbers in BENCH_solver.json.
+func benchEvaluator(b *testing.B, opts Options) *Evaluator {
+	b.Helper()
+	lat := dnn.New(12, dnn.Config{Hidden: []int{64, 64}, Seed: 1})
+	cost := dnn.New(12, dnn.Config{Hidden: []int{64, 64}, Seed: 2})
+	p, err := New([]model.Model{lat, cost}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewEvaluator(p, opts)
+}
+
+func benchPoint() []float64 {
+	x := make([]float64, 12)
+	for d := range x {
+		x[d] = float64(d+1) / 13
+	}
+	return x
+}
+
+// BenchmarkEvaluatorMemoHit measures a repeated-point evaluation: the steady
+// state of lattice-rounded candidate evaluation (key hash + map lookup +
+// vector copy, no model passes).
+func BenchmarkEvaluatorMemoHit(b *testing.B) {
+	e := benchEvaluator(b, Options{})
+	x := benchPoint()
+	f := e.Eval(x) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalInto(x, f)
+	}
+}
+
+// BenchmarkEvaluatorMemoMiss measures a cold-point evaluation with the memo
+// enabled: k model passes plus cache insertion.
+func BenchmarkEvaluatorMemoMiss(b *testing.B) {
+	e := benchEvaluator(b, Options{MemoCap: 1 << 20})
+	x := benchPoint()
+	f := e.Eval(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x[0] = float64(i%1000000) * 1e-9 // unique points, cache always misses
+		e.EvalInto(x, f)
+	}
+}
+
+// BenchmarkEvalBatch measures the worker-pool batch path on a 64-point batch
+// of distinct points (memo disabled so the model cost is visible).
+func BenchmarkEvalBatch(b *testing.B) {
+	e := benchEvaluator(b, Options{MemoCap: -1})
+	xs := make([][]float64, 64)
+	for i := range xs {
+		x := benchPoint()
+		x[0] = float64(i) / 64
+		xs[i] = x
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := e.EvalBatch(xs); len(out) != len(xs) {
+			b.Fatal("bad batch")
+		}
+	}
+}
+
+// BenchmarkEvalBatchSerial is EvalBatch pinned to one worker, the scaling
+// reference for BenchmarkEvalBatch.
+func BenchmarkEvalBatchSerial(b *testing.B) {
+	e := benchEvaluator(b, Options{MemoCap: -1, Workers: 1})
+	xs := make([][]float64, 64)
+	for i := range xs {
+		x := benchPoint()
+		x[0] = float64(i) / 64
+		xs[i] = x
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := e.EvalBatch(xs); len(out) != len(xs) {
+			b.Fatal("bad batch")
+		}
+	}
+}

@@ -42,12 +42,17 @@ type OptimizeRequest struct {
 	Probes     int       `json:"probes"`
 }
 
-// OptimizeResponse is the /optimize response body.
+// OptimizeResponse is the /optimize response body. ModelEvals and MemoHits
+// expose the cached optimizer's evaluation seam: repeated /optimize calls for
+// the same workload+objectives reuse one evaluator, so ModelEvals does not
+// grow when an answer comes entirely from cached work.
 type OptimizeResponse struct {
 	Config         map[string]float64 `json:"config"`
 	Objectives     map[string]float64 `json:"objectives"`
 	FrontierPoints int                `json:"frontier_points"`
 	UncertainSpace float64            `json:"uncertain_space"`
+	ModelEvals     uint64             `json:"model_evals"`
+	MemoHits       uint64             `json:"memo_hits"`
 }
 
 // resolveFor builds the objective list, pulling learned models from the
@@ -121,11 +126,14 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	for i, v := range spc.Vars {
 		conf[v.Name] = float64(plan.Config[i])
 	}
+	hits, _ := opt.MemoStats()
 	return &OptimizeResponse{
 		Config:         conf,
 		Objectives:     plan.Objectives,
 		FrontierPoints: len(front),
 		UncertainSpace: uncertain,
+		ModelEvals:     opt.Evals(),
+		MemoHits:       hits,
 	}, nil
 }
 

@@ -9,6 +9,11 @@
 // line search. With enough samples this approaches the global optimum of
 // each CO problem at a cost orders of magnitude above MOGD — the same
 // trade-off the paper reports for Knitro.
+//
+// All model access goes through a problem.Evaluator. That matters here more
+// than anywhere: every Solve sweeps the same Halton sample snapped onto the
+// same lattice, so across the many CO problems of one PF-S run the bulk of
+// the sweep hits the evaluator's memo cache instead of re-running the models.
 package exact
 
 import (
@@ -19,6 +24,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/objective"
+	"repro/internal/problem"
 	"repro/internal/solver"
 	"repro/internal/space"
 )
@@ -48,32 +54,38 @@ func (c *Config) defaults() {
 
 // Solver is a deterministic sampling-based CO solver.
 type Solver struct {
-	objs []model.Model
-	spc  *space.Space // optional rounding lattice
-	cfg  Config
-	dim  int
+	ev  *problem.Evaluator
+	spc *space.Space // optional rounding lattice
+	cfg Config
+	dim int
+	k   int
 }
 
-// New validates the models and builds a solver.
+// New validates the models and builds a solver with its own evaluator.
 func New(objs []model.Model, spc *space.Space, cfg Config) (*Solver, error) {
+	p, err := problem.New(objs, spc)
+	if err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
 	cfg.defaults()
-	if len(objs) == 0 {
-		return nil, fmt.Errorf("exact: no objectives")
-	}
-	dim := objs[0].Dim()
-	for i, m := range objs {
-		if m.Dim() != dim {
-			return nil, fmt.Errorf("exact: objective %d has dim %d, want %d", i, m.Dim(), dim)
-		}
-	}
-	if spc != nil && spc.Dim() != dim {
-		return nil, fmt.Errorf("exact: space dim %d != objective dim %d", spc.Dim(), dim)
-	}
-	return &Solver{objs: objs, spc: spc, cfg: cfg, dim: dim}, nil
+	return NewOnEvaluator(problem.NewEvaluator(p, problem.Options{Workers: cfg.Workers}), cfg)
+}
+
+// NewOnEvaluator builds a solver on an existing evaluator, sharing its memo
+// cache and evaluation counter with the caller's other optimizers.
+func NewOnEvaluator(ev *problem.Evaluator, cfg Config) (*Solver, error) {
+	cfg.defaults()
+	return &Solver{ev: ev, spc: ev.Problem().Space, cfg: cfg, dim: ev.Dim(), k: ev.NumObjectives()}, nil
 }
 
 // NumObjectives implements solver.Solver.
-func (s *Solver) NumObjectives() int { return len(s.objs) }
+func (s *Solver) NumObjectives() int { return s.k }
+
+// Evaluator exposes the solver's evaluation seam (counters, memo stats).
+func (s *Solver) Evaluator() *problem.Evaluator { return s.ev }
+
+// Evals reports the model passes performed through the solver's evaluator.
+func (s *Solver) Evals() uint64 { return s.ev.Evals() }
 
 var primes = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89}
 
@@ -86,14 +98,6 @@ func halton(i, d int) float64 {
 		r += f * float64(n%base)
 	}
 	return r
-}
-
-func (s *Solver) evalAll(x []float64) objective.Point {
-	f := make(objective.Point, len(s.objs))
-	for j, m := range s.objs {
-		f[j] = m.Predict(x)
-	}
-	return f
 }
 
 func feasible(co solver.CO, f objective.Point) bool {
@@ -123,15 +127,17 @@ func (s *Solver) snap(x []float64) []float64 {
 // Solve implements solver.Solver. The seed is ignored: the solver is fully
 // deterministic, which is what makes PF-S's frontiers reproducible.
 func (s *Solver) Solve(co solver.CO, _ int64) (objective.Solution, bool) {
-	if len(co.Lo) != len(s.objs) || len(co.Hi) != len(s.objs) {
-		panic(fmt.Sprintf("exact: CO bounds have %d/%d entries for %d objectives", len(co.Lo), len(co.Hi), len(s.objs)))
+	if len(co.Lo) != s.k || len(co.Hi) != s.k {
+		panic(fmt.Sprintf("exact: CO bounds have %d/%d entries for %d objectives", len(co.Lo), len(co.Hi), s.k))
 	}
 	var bestX []float64
 	var bestF objective.Point
 	bestVal := math.Inf(1)
+	f := make(objective.Point, s.k)
 	try := func(x []float64) {
 		x = s.snap(x)
-		f := s.evalAll(x)
+		// Snapped sweep points repeat across CO problems — memo hits.
+		s.ev.EvalInto(x, f)
 		if !feasible(co, f) {
 			return
 		}
@@ -142,7 +148,7 @@ func (s *Solver) Solve(co solver.CO, _ int64) (objective.Solution, bool) {
 		if f[co.Target] < bestVal || (f[co.Target] == bestVal && f.Dominates(bestF)) {
 			bestVal = f[co.Target]
 			bestX = append([]float64(nil), x...)
-			bestF = f
+			bestF = f.Clone()
 		}
 	}
 	// Center first (the default configuration), then the Halton sweep.

@@ -136,7 +136,7 @@ func TestSolveBatch(t *testing.T) {
 		t.Fatalf("batch feasibility wrong: %v %v %v", out[0].OK, out[1].OK, out[2].OK)
 	}
 	// Single worker path.
-	s2, _ := New(s.objs, nil, Config{Samples: 128, Workers: 1})
+	s2, _ := New(s.ev.Problem().Objectives, nil, Config{Samples: 128, Workers: 1})
 	out2 := s2.SolveBatch(cos[:1], 0)
 	if !out2[0].OK {
 		t.Fatal("single worker batch failed")

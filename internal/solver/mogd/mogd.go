@@ -15,8 +15,10 @@
 // (its gradient is omitted — a documented approximation that keeps descent
 // cheap and deterministic for MC-dropout models).
 //
-// Hot path: every Adam iteration evaluates each objective's value and input
-// gradient through one fused model.ValueGradienter call, the multi-starts of
+// Hot path: all model access goes through a problem.Evaluator — every Adam
+// iteration evaluates each objective's value and input gradient through one
+// fused Evaluator.ObjValueGrad call, candidate evaluations on the rounded
+// configuration lattice hit the evaluator's memo cache, the multi-starts of
 // Solve run in parallel on a worker pool shared with SolveBatch (bounded by
 // Config.Workers, so PF-AP's l^k grid × multi-start product saturates but
 // never oversubscribes the machine), and upfront start-point draws plus an
@@ -35,6 +37,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/objective"
+	"repro/internal/problem"
 	"repro/internal/solver"
 	"repro/internal/space"
 )
@@ -104,17 +107,14 @@ func (c *Config) defaults() {
 // Solver solves CO problems over a fixed Problem. It is safe for concurrent
 // use as long as the underlying models are.
 type Solver struct {
-	prob Problem
-	cfg  Config
-	dim  int
-	// vgs fuses each objective's value+gradient evaluation (§IV-B hot path).
-	vgs []model.ValueGradienter
-	// eff holds the objective used for loss values and feasibility: the
-	// conservative estimate when Alpha > 0 and the model is Uncertain.
-	eff []model.Model
-	// fused[j] reports whether eff[j] is the raw model, i.e. the ValueGrad
-	// value can be used directly without a separate conservative Predict.
-	fused []bool
+	// ev is the single gateway to the objective models: fused
+	// value+gradient passes, memoized lattice evaluations, and the shared
+	// evaluation counter all live there.
+	ev  *problem.Evaluator
+	spc *space.Space
+	cfg Config
+	dim int
+	k   int
 	// sem is the shared token pool bounding extra worker goroutines across
 	// intra-Solve multi-starts and SolveBatch probes. Capacity is Workers-1:
 	// the calling goroutine always works too, so total parallelism from one
@@ -124,36 +124,38 @@ type Solver struct {
 	scratch sync.Pool
 }
 
-// New validates the problem and configuration and builds a solver.
+// New validates the problem and configuration and builds a solver with its
+// own evaluator (Alpha and Workers taken from cfg).
 func New(prob Problem, cfg Config) (*Solver, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	p, err := problem.New(prob.Objectives, prob.Space)
+	if err != nil {
+		return nil, fmt.Errorf("mogd: %w", err)
+	}
 	cfg.defaults()
-	if len(prob.Objectives) == 0 {
-		return nil, fmt.Errorf("mogd: no objectives")
+	ev := problem.NewEvaluator(p, problem.Options{Workers: cfg.Workers, Alpha: cfg.Alpha})
+	return NewOnEvaluator(ev, cfg)
+}
+
+// NewOnEvaluator builds a solver on an existing evaluator — callers that run
+// several optimizers over one problem (udao.Optimizer, the experiment
+// harness) share its memo cache and evaluation counter this way. The
+// evaluator's Alpha governs uncertainty handling; cfg.Alpha is only used when
+// New constructs the evaluator itself.
+func NewOnEvaluator(ev *problem.Evaluator, cfg Config) (*Solver, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
-	dim := prob.Objectives[0].Dim()
-	for i, m := range prob.Objectives {
-		if m.Dim() != dim {
-			return nil, fmt.Errorf("mogd: objective %d has dim %d, want %d", i, m.Dim(), dim)
-		}
-	}
-	if prob.Space != nil && prob.Space.Dim() != dim {
-		return nil, fmt.Errorf("mogd: space dim %d != objective dim %d", prob.Space.Dim(), dim)
-	}
-	s := &Solver{prob: prob, cfg: cfg, dim: dim, sem: make(chan struct{}, cfg.Workers-1)}
-	for _, m := range prob.Objectives {
-		s.vgs = append(s.vgs, model.EnsureValueGrad(m))
-		if cfg.Alpha > 0 {
-			if _, ok := m.(model.Uncertain); ok {
-				s.eff = append(s.eff, model.Conservative{M: m, Alpha: cfg.Alpha})
-				s.fused = append(s.fused, false)
-				continue
-			}
-		}
-		s.eff = append(s.eff, m)
-		s.fused = append(s.fused, true)
+	cfg.defaults()
+	s := &Solver{
+		ev:  ev,
+		spc: ev.Problem().Space,
+		cfg: cfg,
+		dim: ev.Dim(),
+		k:   ev.NumObjectives(),
+		sem: make(chan struct{}, cfg.Workers-1),
 	}
 	s.scratch.New = func() interface{} { return s.newStartScratch() }
 	return s, nil
@@ -163,7 +165,13 @@ func New(prob Problem, cfg Config) (*Solver, error) {
 func (s *Solver) Dim() int { return s.dim }
 
 // NumObjectives returns k.
-func (s *Solver) NumObjectives() int { return len(s.prob.Objectives) }
+func (s *Solver) NumObjectives() int { return s.k }
+
+// Evaluator exposes the solver's evaluation seam (counters, memo stats).
+func (s *Solver) Evaluator() *problem.Evaluator { return s.ev }
+
+// Evals reports the model passes performed through the solver's evaluator.
+func (s *Solver) Evals() uint64 { return s.ev.Evals() }
 
 // startScratch holds one start's reusable buffers: the iterate, Adam state,
 // the accumulated loss gradient, a per-objective gradient buffer, and the
@@ -182,21 +190,8 @@ func (s *Solver) newStartScratch() *startScratch {
 		vAdam: make([]float64, s.dim),
 		grad:  make([]float64, s.dim),
 		gbuf:  make([]float64, s.dim),
-		f:     make(objective.Point, len(s.eff)),
-		fr:    make(objective.Point, len(s.eff)),
-	}
-}
-
-// evalAll returns the effective objective values at x.
-func (s *Solver) evalAll(x []float64) objective.Point {
-	f := make(objective.Point, len(s.eff))
-	s.evalAllInto(x, f)
-	return f
-}
-
-func (s *Solver) evalAllInto(x []float64, f objective.Point) {
-	for j, m := range s.eff {
-		f[j] = m.Predict(x)
+		f:     make(objective.Point, s.k),
+		fr:    make(objective.Point, s.k),
 	}
 }
 
@@ -221,18 +216,15 @@ func (s *Solver) feasible(co solver.CO, f objective.Point) bool {
 
 // lossAndGrad evaluates Eq. 3 and its (sub)gradient at sc.x, writing the
 // gradient into sc.grad and the effective objective values into sc.f. Each
-// objective costs one fused ValueGrad evaluation — half the model passes of
-// a separate Predict + Gradient — except the conservative (α·std) case,
-// whose loss value needs the model's own PredictVar.
+// objective costs one fused ObjValueGrad evaluation — half the model passes
+// of a separate Predict + Gradient — except the conservative (α·std) case,
+// where the evaluator adds the variance pass its loss value needs.
 func (s *Solver) lossAndGrad(co solver.CO, sc *startScratch) (loss float64) {
 	for d := range sc.grad {
 		sc.grad[d] = 0
 	}
-	for j := range s.eff {
-		fj, gj := s.vgs[j].ValueGrad(sc.x, sc.gbuf)
-		if !s.fused[j] {
-			fj = s.eff[j].Predict(sc.x)
-		}
+	for j := 0; j < s.k; j++ {
+		fj, gj := s.ev.ObjValueGrad(j, sc.x, sc.gbuf)
 		sc.f[j] = fj
 		lo, hi := co.Lo[j], co.Hi[j]
 		bounded := !math.IsInf(lo, -1) && !math.IsInf(hi, 1) && hi > lo
@@ -335,7 +327,7 @@ func (s *Solver) runStart(co solver.CO, x0 []float64, sc *startScratch) startRes
 			x[d] = clamp01(x[d] - step)
 		}
 	}
-	s.evalAllInto(x, sc.f)
+	s.ev.EvalInto(x, sc.f)
 	s.consider(co, sc, &res)
 	return res
 }
@@ -345,13 +337,15 @@ func (s *Solver) runStart(co solver.CO, x0 []float64, sc *startScratch) startRes
 func (s *Solver) consider(co solver.CO, sc *startScratch, res *startResult) {
 	xx := sc.x
 	ff := sc.f
-	if s.prob.Space != nil {
-		rx, err := s.prob.Space.Round(sc.x)
+	if s.spc != nil {
+		rx, err := s.spc.Round(sc.x)
 		if err != nil {
 			return
 		}
 		xx = rx
-		s.evalAllInto(rx, sc.fr)
+		// Lattice-rounded candidates revisit the same snapped points across
+		// iterations and starts — the evaluator's memo makes these hits free.
+		s.ev.EvalInto(rx, sc.fr)
 		ff = sc.fr
 	}
 	if !s.feasible(co, ff) {
@@ -397,8 +391,8 @@ func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 // checkBounds panics on malformed CO problems (a programming error, matching
 // the solver.Solver contract).
 func (s *Solver) checkBounds(co solver.CO) {
-	if len(co.Lo) != len(s.eff) || len(co.Hi) != len(s.eff) {
-		panic(fmt.Sprintf("mogd: CO bounds have %d/%d entries for %d objectives", len(co.Lo), len(co.Hi), len(s.eff)))
+	if len(co.Lo) != s.k || len(co.Hi) != s.k {
+		panic(fmt.Sprintf("mogd: CO bounds have %d/%d entries for %d objectives", len(co.Lo), len(co.Hi), s.k))
 	}
 }
 
@@ -469,7 +463,7 @@ func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
 // Minimize is the single-objective base case (§IV-B.1): minimize objective
 // target with no constraints beyond the [0,1]^D box.
 func (s *Solver) Minimize(target int, seed int64) (objective.Solution, bool) {
-	k := len(s.eff)
+	k := s.k
 	lo := make([]float64, k)
 	hi := make([]float64, k)
 	for j := range lo {

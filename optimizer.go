@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/objective"
+	"repro/internal/problem"
 	"repro/internal/recommend"
 	"repro/internal/solver"
 	"repro/internal/solver/exact"
@@ -104,9 +105,14 @@ type Plan struct {
 
 // Optimizer computes Pareto frontiers and recommendations for one task.
 type Optimizer struct {
-	spc      *Space
-	objs     []Objective
-	opt      Options
+	spc  *Space
+	objs []Objective
+	opt  Options
+	// ev is the task's single evaluation seam: whichever solver the
+	// algorithm selects runs on it, so evaluation counts, memoized points
+	// and the fused hot path are shared across ParetoFrontier, Expand and
+	// repeated Optimize calls on this optimizer.
+	ev       *problem.Evaluator
 	run      *core.Run
 	frontier []objective.Solution
 }
@@ -195,15 +201,18 @@ func (o *Optimizer) Expand(probes int) ([]Plan, error) {
 			Solve(co solver.CO, seed int64) (objective.Solution, bool)
 			SolveBatch(cos []solver.CO, seed int64) []solver.Result
 		}
-		var err error
+		ev, err := o.evaluator()
+		if err != nil {
+			return nil, err
+		}
 		parallel := false
 		switch o.opt.Algorithm {
 		case PFS:
-			s, err = exact.New(o.models(), o.spc, exact.Config{})
+			s, err = exact.NewOnEvaluator(ev, exact.Config{})
 		case PFAS:
-			s, err = o.mogdSolver()
+			s, err = o.mogdSolver(ev)
 		default:
-			s, err = o.mogdSolver()
+			s, err = o.mogdSolver(ev)
 			parallel = true
 		}
 		if err != nil {
@@ -219,11 +228,37 @@ func (o *Optimizer) Expand(probes int) ([]Plan, error) {
 	return o.plans(front), nil
 }
 
-func (o *Optimizer) mogdSolver() (*mogd.Solver, error) {
-	return mogd.New(
-		mogd.Problem{Objectives: o.models(), Space: o.spc},
-		mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed},
-	)
+// evaluator lazily builds the optimizer's shared evaluation seam.
+func (o *Optimizer) evaluator() (*problem.Evaluator, error) {
+	if o.ev == nil {
+		p, err := problem.New(o.models(), o.spc)
+		if err != nil {
+			return nil, fmt.Errorf("udao: %w", err)
+		}
+		o.ev = problem.NewEvaluator(p, problem.Options{Alpha: o.opt.Alpha})
+	}
+	return o.ev, nil
+}
+
+func (o *Optimizer) mogdSolver(ev *problem.Evaluator) (*mogd.Solver, error) {
+	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed})
+}
+
+// Evals reports the model passes performed by this optimizer's solvers so
+// far — the comparable evaluation count of the paper's efficiency axis.
+func (o *Optimizer) Evals() uint64 {
+	if o.ev == nil {
+		return 0
+	}
+	return o.ev.Evals()
+}
+
+// MemoStats reports the evaluator's memoization cache hits and misses.
+func (o *Optimizer) MemoStats() (hits, misses uint64) {
+	if o.ev == nil {
+		return 0, 0
+	}
+	return o.ev.MemoStats()
 }
 
 // plans converts internal solutions to user-facing plans, restoring the

@@ -11,7 +11,9 @@
 #
 # Covered benchmarks:
 #   internal/model/dnn   Predict / Gradient / ValueGrad / PredictVar
+#   internal/problem     EvaluatorMemoHit / EvaluatorMemoMiss / EvalBatch[Serial]
 #   internal/solver/mogd MOGDSolve / MOGDSolveSerial / MOGDSolveBatch
+#   internal/moo/ws, nc  WSRun / NCRun  (baseline inner loops)
 #   internal/core        Sequential / Parallel  (PF-S / PF-AP end to end)
 set -eu
 
@@ -23,7 +25,9 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'Predict|Gradient|ValueGrad' -benchmem -benchtime 1s ./internal/model/dnn/ >>"$RAW"
+go test -run '^$' -bench 'Evaluator|EvalBatch' -benchmem -benchtime 1s ./internal/problem/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
+go test -run '^$' -bench 'WSRun|NCRun' -benchmem -benchtime 1s ./internal/moo/ws/ ./internal/moo/nc/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime 1s ./internal/core/ >>"$RAW"
 
 CPU=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$RAW")

@@ -3,7 +3,9 @@
 #
 #   1. gofmt lint (no unformatted files)
 #   2. go vet + full build
-#   3. race-detector pass over the concurrent hot paths (solver, models, core)
+#   3. race-detector pass over the concurrent hot paths (solver, models,
+#      core, the problem-layer evaluator) and the cross-method conformance
+#      suite
 #   4. full test suite
 #   5. benchmark smoke: one iteration of the MOGD benchmarks, so a broken
 #      benchmark harness fails CI instead of the next perf investigation
@@ -20,7 +22,7 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/solver/... ./internal/model/... ./internal/core/...
+go test -race ./internal/solver/... ./internal/model/... ./internal/core/... ./internal/problem/... ./internal/conformance/...
 go test ./...
 go test -run '^$' -bench MOGD -benchtime 1x ./internal/solver/mogd/
 
