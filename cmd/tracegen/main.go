@@ -13,8 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"strconv"
 	"strings"
 
@@ -38,7 +39,7 @@ func main() {
 	flag.Parse()
 	ids, err := parseIDs(*workloads)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	cluster := spark.DefaultCluster()
 	store := trace.NewStore()
@@ -85,20 +86,20 @@ func main() {
 		rng := rand.New(rand.NewSource(*seed + int64(id)*31))
 		confs, err := trace.HeuristicSample(spc, center, *samples, rng)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		if err := trace.Collect(store, spc, name, confs, runner, *seed); err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		if *boSamples > 0 {
 			if err := trace.BOSample(store, spc, name, "latency", runner, *boSamples, rng); err != nil {
-				log.Fatal(err)
+				fatal("fatal error", "err", err)
 			}
 		}
 		fmt.Printf("workload %-18s: %d traces\n", name, *samples+*boSamples)
 	}
 	if err := store.Save(*out); err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	fmt.Printf("wrote %d traces to %s\n", store.Len(), *out)
 }
@@ -126,4 +127,10 @@ func parseIDs(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// fatal logs a structured error and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }

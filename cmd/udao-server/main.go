@@ -5,22 +5,31 @@
 // On startup it samples the requested TPCx-BB workloads on the simulated
 // cluster and trains their models on demand. Endpoints:
 //
-//	POST /predict   {"workload": "...", "objective": "latency", "x": [...]}
+//	POST /predict     {"workload": "...", "objective": "latency", "x": [...]}
 //	GET  /workloads
-//	POST /optimize  {"workload": "...", "weights": [0.9, 0.1], "probes": 30}
+//	POST /optimize    {"workload": "...", "weights": [0.9, 0.1], "probes": 30}
+//	GET  /metrics     Prometheus text exposition of the udao_* metrics
+//	GET  /debug/trace replay one optimizer run (?run=opt-1) or list runs
+//	GET  /debug/vars  expvar JSON (includes the metrics snapshot)
+//
+// With -pprof, net/http/pprof profiling is additionally served under
+// /debug/pprof/.
 //
 // Example:
 //
 //	udao-server -addr :8080 -workloads 1,9 &
 //	curl -s localhost:8080/optimize -d '{"workload":"q10-w009","weights":[0.9,0.1]}'
+//	curl -s localhost:8080/metrics | grep udao_http
+//	curl -s 'localhost:8080/debug/trace?run=opt-1'
 package main
 
 import (
+	"expvar"
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -31,19 +40,48 @@ import (
 	"repro/internal/service"
 	"repro/internal/space"
 	"repro/internal/spark"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 var (
-	addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-	workloads = flag.String("workloads", "1,9", "comma-separated TPCx-BB workload ids to load")
-	samples   = flag.Int("samples", 60, "training samples per workload")
-	modelKind = flag.String("model", "gp", "model family: gp or dnn")
-	seed      = flag.Int64("seed", 1, "random seed")
+	addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+	workloads  = flag.String("workloads", "1,9", "comma-separated TPCx-BB workload ids to load")
+	samples    = flag.Int("samples", 60, "training samples per workload")
+	modelKind  = flag.String("model", "gp", "model family: gp or dnn")
+	seed       = flag.Int64("seed", 1, "random seed")
+	pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (opt-in)")
+	traceLevel = flag.String("trace-level", "run", "solver trace sampling: off, run or verbose")
+	traceSink  = flag.String("trace-sink", "", "append trace events as JSON lines to this file")
 )
 
 func main() {
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	tel := telemetry.New()
+	switch *traceLevel {
+	case "off":
+		tel.Trace.SetLevel(telemetry.LevelOff)
+	case "run":
+		tel.Trace.SetLevel(telemetry.LevelRun)
+	case "verbose":
+		tel.Trace.SetLevel(telemetry.LevelVerbose)
+	default:
+		logger.Error("bad -trace-level", "value", *traceLevel)
+		os.Exit(1)
+	}
+	if *traceSink != "" {
+		f, err := os.OpenFile(*traceSink, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("opening trace sink", "err", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tel.Trace.SetSink(f)
+	}
+	tel.Metrics.PublishExpvar("udao")
+
 	spc := spark.BatchSpace()
 	cluster := spark.DefaultCluster()
 	store := trace.NewStore()
@@ -51,7 +89,8 @@ func main() {
 	for _, part := range strings.Split(*workloads, ",") {
 		id, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil || id < 0 || id >= tpcxbb.NumWorkloads {
-			log.Fatalf("bad workload id %q", part)
+			logger.Error("bad workload id", "id", part)
+			os.Exit(1)
 		}
 		w := tpcxbb.ByID(id)
 		runner := func(conf space.Values, s int64) (map[string]float64, []float64, error) {
@@ -67,20 +106,24 @@ func main() {
 		}
 		confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), *samples, rand.New(rand.NewSource(*seed+int64(id))))
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("sampling configurations", "err", err)
+			os.Exit(1)
 		}
 		if err := trace.Collect(store, spc, w.Flow.Name, confs, runner, *seed); err != nil {
-			log.Fatal(err)
+			logger.Error("collecting traces", "err", err)
+			os.Exit(1)
 		}
-		log.Printf("loaded workload %s (%d traces)", w.Flow.Name, *samples)
+		logger.Info("loaded workload", "workload", w.Flow.Name, "traces", *samples)
 	}
 
 	kind := modelserver.GP
 	if *modelKind == "dnn" {
 		kind = modelserver.DNN
 	}
-	svc := service.New(modelserver.New(spc, store, modelserver.Config{Kind: kind}))
+	svc := service.New(modelserver.New(spc, store, modelserver.Config{Kind: kind, Telemetry: tel}))
 	svc.Seed = *seed
+	svc.Telemetry = tel
+	svc.Logger = logger
 	// Cost in #cores is a known function of the knobs: register it exactly.
 	svc.Exact["cores"] = model.Func{D: spc.Dim(), F: func(x []float64) float64 {
 		vals, err := spc.Decode(x)
@@ -92,9 +135,23 @@ func main() {
 		return inst * cores
 	}}
 
-	log.Printf("udao-server listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, svc.Handler()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	// The service handler already carries /metrics and /debug/trace (and the
+	// request middleware); mount the debug-only endpoints around it.
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+
+	logger.Info("udao-server listening", "addr", *addr, "trace_level", *traceLevel, "pprof", *pprofFlag)
+	if err := http.ListenAndServe(*addr, mux); err != nil {
+		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
 }

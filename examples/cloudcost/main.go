@@ -16,8 +16,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 
 	udao "repro"
 	"repro/internal/bench/tpcxbb"
@@ -48,10 +49,10 @@ func main() {
 	rng := rand.New(rand.NewSource(7))
 	confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), 50, rng)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	if err := trace.Collect(store, spc, w.Flow.Name, confs, runner, 1); err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	fmt.Printf("collected %d traces\n", store.Len())
 
@@ -59,7 +60,7 @@ func main() {
 	server := modelserver.New(spc, store, modelserver.Config{Kind: modelserver.GP, LogTargets: true})
 	latModel, err := server.Model(w.Flow.Name, "latency")
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	fmt.Printf("latency model WMAPE on training traces: %.1f%%\n\n",
 		100*modelserver.WMAPE(latModel, store.ForWorkload(w.Flow.Name), "latency"))
@@ -81,11 +82,11 @@ func main() {
 		{Name: "cores", Model: coresModel},
 	}, udao.Options{Probes: 30, Seed: 7})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	frontier, err := opt.ParetoFrontier()
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	fmt.Printf("Pareto frontier: %d configurations spanning %.0f-%.0f s latency\n",
 		len(frontier), minLat(frontier), maxLat(frontier))
@@ -93,15 +94,15 @@ func main() {
 	// 4. Measure the recommendation against the Spark defaults.
 	plan, err := opt.Recommend(udao.WUN, []float64{0.7, 0.3})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	rec, err := spark.Run(w.Flow, spc, plan.Config, cluster, 99)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	def, err := spark.Run(w.Flow, spc, spark.DefaultBatchConf(spc), cluster, 99)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	fmt.Printf("\nrecommended: %s\n", spc.Describe(plan.Config))
 	fmt.Printf("measured:    %.1f s on %g cores (default config: %.1f s on %g cores)\n",
@@ -128,4 +129,10 @@ func maxLat(frontier []udao.Plan) float64 {
 		}
 	}
 	return m
+}
+
+// fatal logs a structured error and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }

@@ -11,8 +11,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sort"
 
 	udao "repro"
@@ -46,15 +47,15 @@ func main() {
 		rng := rand.New(rand.NewSource(int64(31 + i)))
 		confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), 50, rng)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		if err := trace.Collect(store, spc, w.Flow.Name, confs, runner, 1); err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		server := modelserver.New(spc, store, modelserver.Config{Kind: modelserver.GP, LogTargets: true})
 		m, err := server.Model(w.Flow.Name, "latency")
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		stageModels[i] = m
 	}
@@ -76,11 +77,11 @@ func main() {
 		{Name: "cores", Model: coresModel},
 	}, udao.Options{Probes: 30, Seed: 31})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	frontier, err := opt.ParetoFrontier()
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	sort.Slice(frontier, func(i, j int) bool {
 		return frontier[i].Objectives["pipeline-latency"] < frontier[j].Objectives["pipeline-latency"]
@@ -93,13 +94,13 @@ func main() {
 	// Recommend with a latency-leaning preference and measure both stages.
 	plan, err := opt.Recommend(udao.WUN, []float64{0.8, 0.2})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	total := 0.0
 	for _, w := range stages {
 		m, err := spark.Run(w.Flow, spc, plan.Config, cluster, 77)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		fmt.Printf("\n%s: measured %.1fs on %g cores", w.Flow.Name, m.LatencySec, m.Cores)
 		total += m.LatencySec
@@ -108,10 +109,16 @@ func main() {
 	for _, w := range stages {
 		m, err := spark.Run(w.Flow, spc, spark.DefaultBatchConf(spc), cluster, 77)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		def += m.LatencySec
 	}
 	fmt.Printf("\n\npipeline total: %.1fs (default config: %.1fs, %.0f%% reduction)\n",
 		total, def, 100*(def-total)/def)
+}
+
+// fatal logs a structured error and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }

@@ -9,8 +9,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
+	"os"
 	"sort"
 
 	udao "repro"
@@ -23,7 +24,7 @@ func main() {
 		{Name: "cores", Kind: udao.Integer, Min: 1, Max: 24},
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 
 	// Handcrafted models over the normalized decision space (Fig. 3(e)):
@@ -40,12 +41,12 @@ func main() {
 		{Name: "cores", Model: cost},
 	}, udao.Options{Probes: 40, Seed: 42})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 
 	frontier, err := opt.ParetoFrontier()
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	sort.Slice(frontier, func(i, j int) bool {
 		return frontier[i].Objectives["latency"] < frontier[j].Objectives["latency"]
@@ -63,10 +64,16 @@ func main() {
 	for _, w := range [][]float64{{0.5, 0.5}, {0.9, 0.1}, {0.1, 0.9}} {
 		plan, err := opt.Recommend(udao.WUN, w)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		fmt.Printf("weights (lat=%.1f, cost=%.1f) -> %s  (latency %.1fs, %g cores)\n",
 			w[0], w[1], spc.Describe(plan.Config),
 			plan.Objectives["latency"], plan.Objectives["cores"])
 	}
+}
+
+// fatal logs a structured error and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }

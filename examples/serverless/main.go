@@ -13,8 +13,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"time"
 
 	udao "repro"
@@ -39,7 +40,7 @@ func loadSpace(rate float64) *udao.Space {
 	}
 	spc, err := udao.NewSpace(vars)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	return spc
 }
@@ -59,15 +60,15 @@ func optimizerForLoad(w stream.Workload, cluster spark.Cluster, rate float64, se
 	rng := rand.New(rand.NewSource(seed))
 	confs, err := trace.HeuristicSample(spc, spark.DefaultStreamConf(spc), 60, rng)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	if err := trace.Collect(store, spc, w.Tmpl.Name, confs, runner, seed); err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	server := modelserver.New(spc, store, modelserver.Config{Kind: modelserver.GP, LogTargets: true})
 	latModel, err := server.Model(w.Tmpl.Name, "latency")
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	cuModel := model.Func{D: spc.Dim(), F: func(x []float64) float64 {
 		vals, err := spc.Decode(x)
@@ -83,7 +84,7 @@ func optimizerForLoad(w stream.Workload, cluster spark.Cluster, rate float64, se
 		{Name: "computing-units", Model: cuModel},
 	}, udao.Options{Probes: 30, Seed: seed})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	return opt
 }
@@ -115,19 +116,19 @@ func main() {
 		if !cached {
 			opt = optimizerForLoad(w, cluster, p.rate, 11)
 			if _, err := opt.ParetoFrontier(); err != nil {
-				log.Fatal(err)
+				fatal("fatal error", "err", err)
 			}
 			optimizers[p.rate] = opt
 		}
 		plan, err := opt.Recommend(udao.WUN, p.weights)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		elapsed := time.Since(t0)
 		spc := loadSpace(p.rate)
 		m, err := stream.Run(w, spc, plan.Config, cluster, 3)
 		if err != nil {
-			log.Fatal(err)
+			fatal("fatal error", "err", err)
 		}
 		how := "frontier recomputed for new load"
 		if cached {
@@ -137,4 +138,10 @@ func main() {
 			p.name, p.rate, plan.Objectives["computing-units"], m.LatencySec, m.Stable,
 			elapsed.Round(time.Microsecond), how)
 	}
+}
+
+// fatal logs a structured error and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }

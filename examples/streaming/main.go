@@ -10,8 +10,9 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sort"
 
 	udao "repro"
@@ -43,19 +44,19 @@ func main() {
 	rng := rand.New(rand.NewSource(21))
 	confs, err := trace.HeuristicSample(spc, spark.DefaultStreamConf(spc), 70, rng)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	if err := trace.Collect(store, spc, w.Tmpl.Name, confs, runner, 1); err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	server := modelserver.New(spc, store, modelserver.Config{Kind: modelserver.GP, LogTargets: true})
 	latModel, err := server.Model(w.Tmpl.Name, "latency")
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	thrModel, err := server.Model(w.Tmpl.Name, "throughput")
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	coresModel := model.Func{D: spc.Dim(), F: func(x []float64) float64 {
 		vals, err := spc.Decode(x)
@@ -74,12 +75,12 @@ func main() {
 		{Name: "cores", Model: coresModel},
 	}, udao.Options{Probes: 40, Grid: 2, Seed: 21})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 
 	frontier, err := opt.ParetoFrontier()
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	sort.Slice(frontier, func(i, j int) bool {
 		return frontier[i].Objectives["latency"] < frontier[j].Objectives["latency"]
@@ -95,13 +96,19 @@ func main() {
 	// by measuring on the simulator.
 	plan, err := opt.Recommend(udao.WUN, []float64{0.6, 0.3, 0.1})
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	m, err := stream.Run(w, spc, plan.Config, cluster, 5)
 	if err != nil {
-		log.Fatal(err)
+		fatal("fatal error", "err", err)
 	}
 	fmt.Printf("\nrecommended: %s\n", spc.Describe(plan.Config))
 	fmt.Printf("measured: latency %.1fs, throughput %.0f rec/s, %g cores (stable=%v)\n",
 		m.LatencySec, m.Throughput, m.Cores, m.Stable)
+}
+
+// fatal logs a structured error and exits.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
 }

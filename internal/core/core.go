@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/objective"
 	"repro/internal/solver"
+	"repro/internal/telemetry"
 )
 
 // solverLike is the solver capability Run needs (= solver.Solver).
@@ -74,6 +75,12 @@ type Options struct {
 	// OnProgress, when non-nil, is invoked after every probe (sequential) or
 	// probe batch (parallel) with a snapshot of the run.
 	OnProgress func(Snapshot)
+	// Telemetry, when non-nil, records the run's per-probe uncertain-space
+	// trajectory — the quantity Figures 4, 5 and 8 track over time — as
+	// trace events tagged with RunID, and feeds the PF probe counters and
+	// the uncertain-fraction gauge.
+	Telemetry *telemetry.Telemetry
+	RunID     string
 }
 
 // Snapshot reports the state of a PF run after a probe.
@@ -208,6 +215,23 @@ type run struct {
 	probes   int
 	seq      int
 	rng      *rand.Rand
+
+	// Telemetry instruments (nil when Options.Telemetry is nil).
+	telProbes    *telemetry.Counter
+	telUncertain *telemetry.Gauge
+	tracer       *telemetry.Tracer
+	lastProbes   int // probes already flushed to telProbes
+}
+
+// newRunState builds the shared state, resolving telemetry instruments once.
+func newRunState(s solver.Solver, opt Options) *run {
+	r := &run{s: s, opt: opt, start: time.Now()}
+	if tel := opt.Telemetry; tel != nil {
+		r.telProbes = tel.Metrics.Counter(telemetry.MetricPFProbes)
+		r.telUncertain = tel.Metrics.Gauge(telemetry.MetricPFUncertain)
+		r.tracer = tel.Trace
+	}
+	return r
 }
 
 // push enqueues a rectangle unless it is below the resolution cutoff.
@@ -252,12 +276,9 @@ func (r *run) expired() bool {
 }
 
 func (r *run) report() {
+	r.observe()
 	if r.opt.OnProgress == nil {
 		return
-	}
-	frac := 0.0
-	if r.initVol > 0 {
-		frac = r.queueVol / r.initVol
 	}
 	var evals uint64
 	if ec, ok := r.s.(evalCounter); ok {
@@ -267,10 +288,47 @@ func (r *run) report() {
 		Probes:        r.probes,
 		Evals:         evals,
 		Elapsed:       time.Since(r.start),
-		UncertainFrac: frac,
+		UncertainFrac: r.uncertainFrac(),
 		FrontierSize:  len(r.plans),
 		Frontier:      objective.Filter(r.plans),
 	})
+}
+
+func (r *run) uncertainFrac() float64 {
+	if r.initVol <= 0 {
+		return 0
+	}
+	return r.queueVol / r.initVol
+}
+
+// observe flushes the probe counter delta, updates the uncertain-fraction
+// gauge, and appends one point of the run's uncertain-space trajectory to
+// the trace — the per-probe series behind Figs. 4–5.
+func (r *run) observe() {
+	if r.telProbes == nil {
+		return
+	}
+	if d := r.probes - r.lastProbes; d > 0 {
+		r.telProbes.Add(uint64(d))
+		r.lastProbes = r.probes
+	}
+	frac := r.uncertainFrac()
+	r.telUncertain.Set(frac)
+	if r.tracer.Enabled(telemetry.LevelRun) {
+		var evals uint64
+		if ec, ok := r.s.(evalCounter); ok {
+			evals = ec.Evals()
+		}
+		r.tracer.Emit(telemetry.LevelRun, telemetry.Event{
+			Run: r.opt.RunID, Scope: "pf", Name: "probe",
+			Dur: time.Since(r.start),
+			Attrs: map[string]float64{
+				"probes": float64(r.probes), "uncertain_frac": frac,
+				"frontier": float64(len(r.plans)), "evals": float64(evals),
+				"queued_rects": float64(r.queue.Len()),
+			},
+		})
+	}
 }
 
 // fullCO builds the fallback probe over the whole rectangle: when the lower

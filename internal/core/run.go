@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/objective"
+	"repro/internal/telemetry"
 )
 
 // Run is a resumable Progressive Frontier computation — the incremental mode
@@ -39,9 +40,14 @@ func NewRun(s solverLike, parallel bool, opt Options) *Run {
 func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 	u.budget += probes
 	s := u.s
+	t0 := time.Now()
+	startProbes := 0
+	if u.st != nil {
+		startProbes = u.st.probes
+	}
 	if !u.started {
 		u.started = true
-		u.st = &run{s: s, opt: u.opt, start: time.Now()}
+		u.st = newRunState(s, u.opt)
 		plans, err := referencePoints(s, u.opt)
 		if err != nil {
 			return nil, err
@@ -51,6 +57,7 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 		rect, ok := initialRect(plans)
 		if !ok {
 			u.degenerate = true
+			u.finishExpand(t0, startProbes)
 			return u.Frontier(), nil
 		}
 		u.st.initVol = rect.Volume()
@@ -70,7 +77,41 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 			u.st.stepSequential()
 		}
 	}
+	u.finishExpand(t0, startProbes)
 	return u.Frontier(), nil
+}
+
+// finishExpand closes one Expand call's telemetry span: the probes invested,
+// the resulting frontier size and the uncertain space left.
+func (u *Run) finishExpand(t0 time.Time, startProbes int) {
+	st := u.st
+	if st == nil || st.telProbes == nil {
+		return
+	}
+	st.observe() // flush any probes issued since the last report
+	if tel := u.opt.Telemetry; tel != nil {
+		tel.Metrics.Counter(telemetry.MetricPFExpansions).Add(1)
+	}
+	if st.tracer.Enabled(telemetry.LevelRun) {
+		st.tracer.Emit(telemetry.LevelRun, telemetry.Event{
+			Run: u.opt.RunID, Scope: "pf", Name: "expand",
+			Dur: time.Since(t0),
+			Attrs: map[string]float64{
+				"probes":         float64(st.probes - startProbes),
+				"total_probes":   float64(st.probes),
+				"frontier":       float64(len(objective.Filter(st.plans))),
+				"uncertain_frac": st.uncertainFrac(),
+				"degenerate":     boolAttr(u.degenerate),
+			},
+		})
+	}
+}
+
+func boolAttr(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // Frontier returns the current dominance-filtered Pareto set.

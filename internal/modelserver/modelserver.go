@@ -15,6 +15,7 @@ package modelserver
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -22,13 +23,19 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/model/dnn"
 	"repro/internal/model/gp"
 	"repro/internal/space"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
+
+// ErrNotFound reports a workload with no collected traces; HTTP layers map it
+// to 404 with errors.Is.
+var ErrNotFound = errors.New("workload not found")
 
 // Kind selects the model family.
 type Kind int
@@ -68,6 +75,9 @@ type Config struct {
 	// multiplicative. Objectives with non-positive observations fall back
 	// to the raw scale automatically.
 	LogTargets bool
+	// Telemetry, when non-nil, counts trainings, records training latency,
+	// and emits a trace event per (re)train or fine-tune.
+	Telemetry *telemetry.Telemetry
 }
 
 func (c *Config) defaults() {
@@ -94,12 +104,22 @@ type Server struct {
 	store *trace.Store
 	cfg   Config
 	cache map[string]*trainedModel // key: workload + "\x00" + objective
+
+	telTrain  *telemetry.Counter
+	telTrainH *telemetry.Histogram
+	tracer    *telemetry.Tracer
 }
 
 // New builds a server over the store.
 func New(spc *space.Space, store *trace.Store, cfg Config) *Server {
 	cfg.defaults()
-	return &Server{spc: spc, store: store, cfg: cfg, cache: map[string]*trainedModel{}}
+	s := &Server{spc: spc, store: store, cfg: cfg, cache: map[string]*trainedModel{}}
+	if tel := cfg.Telemetry; tel != nil {
+		s.telTrain = tel.Metrics.Counter(telemetry.MetricModelTrainings)
+		s.telTrainH = tel.Metrics.Histogram(telemetry.MetricModelTrainTime, "", nil)
+		s.tracer = tel.Trace
+	}
+	return s
 }
 
 // Store exposes the underlying trace store (for collection).
@@ -118,13 +138,14 @@ func (s *Server) Model(workload, objective string) (model.Model, error) {
 	defer s.mu.Unlock()
 	entries := s.store.ForWorkload(workload)
 	if len(entries) == 0 {
-		return nil, fmt.Errorf("modelserver: no traces for workload %q", workload)
+		return nil, fmt.Errorf("modelserver: no traces for workload %q: %w", workload, ErrNotFound)
 	}
 	k := key(workload, objective)
 	cached, ok := s.cache[k]
 	if ok && cached.atCount == len(entries) {
 		return cached.m, nil
 	}
+	trainStart := time.Now()
 	X, y, err := dataset(entries, objective, s.spc.Dim())
 	if err != nil {
 		return nil, err
@@ -164,6 +185,18 @@ func (s *Server) Model(workload, objective string) (model.Model, error) {
 		m = model.Exp{M: m}
 	}
 	s.cache[k] = &trainedModel{m: m, atCount: len(entries)}
+	if s.telTrain != nil {
+		dur := time.Since(trainStart)
+		s.telTrain.Add(1)
+		s.telTrainH.Observe(dur.Seconds())
+		if s.tracer.Enabled(telemetry.LevelRun) {
+			s.tracer.Emit(telemetry.LevelRun, telemetry.Event{
+				Scope: "model", Name: "train", Detail: workload + "/" + objective,
+				Dur:   dur,
+				Attrs: map[string]float64{"traces": float64(len(entries))},
+			})
+		}
+	}
 	return m, nil
 }
 

@@ -86,7 +86,7 @@ type indiv struct {
 
 // Run implements moo.Method.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
-	tr := opt.Track()
+	tr := opt.Track().Named(m.Name())
 	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
 	if err != nil {
 		return nil, err

@@ -55,7 +55,7 @@ func (m *Method) defaults() {
 // Run implements moo.Method.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 	m.defaults()
-	tr := opt.Track()
+	tr := opt.Track().Named(m.Name())
 	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
 	if err != nil {
 		return nil, err

@@ -96,7 +96,7 @@ func count(h, k int) int {
 // objectives normalized by the anchor-point box so weights are comparable.
 func (m *Method) Run(opt moo.Options) ([]objective.Solution, error) {
 	m.defaults()
-	tr := opt.Track()
+	tr := opt.Track().Named(m.Name())
 	ev, err := moo.Evaluator(m.Evaluator, m.Objectives)
 	if err != nil {
 		return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/model/dnn"
+	"repro/internal/telemetry"
 )
 
 // benchEvaluator builds a 2-objective evaluator over DNN models — the same
@@ -91,5 +92,46 @@ func BenchmarkEvalBatchSerial(b *testing.B) {
 		if out := e.EvalBatch(xs); len(out) != len(xs) {
 			b.Fatal("bad batch")
 		}
+	}
+}
+
+// BenchmarkEvaluatorValueGrad measures the fused value+gradient hot path
+// without telemetry — the baseline for the telemetry-overhead comparison.
+func BenchmarkEvaluatorValueGrad(b *testing.B) {
+	e := benchEvaluator(b, Options{})
+	x := benchPoint()
+	grad := make([]float64, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ObjValueGrad(0, x, grad)
+	}
+}
+
+// BenchmarkEvaluatorValueGradTelemetry is the same hot path with the full
+// telemetry stack attached at the default sampling level (LevelRun). The
+// acceptance bar: identical allocation profile (0 allocs/op) — counting is
+// atomic mirroring and trace events never fire per model pass.
+func BenchmarkEvaluatorValueGradTelemetry(b *testing.B) {
+	e := benchEvaluator(b, Options{Telemetry: telemetry.New(), RunID: "bench"})
+	x := benchPoint()
+	grad := make([]float64, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ObjValueGrad(0, x, grad)
+	}
+}
+
+// BenchmarkEvaluatorMemoHitTelemetry mirrors BenchmarkEvaluatorMemoHit with
+// telemetry attached, guarding the memo-hit fast path.
+func BenchmarkEvaluatorMemoHitTelemetry(b *testing.B) {
+	e := benchEvaluator(b, Options{Telemetry: telemetry.New(), RunID: "bench"})
+	x := benchPoint()
+	f := e.Eval(x) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EvalInto(x, f)
 	}
 }

@@ -6,9 +6,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/objective"
+	"repro/internal/telemetry"
 )
 
 // Options tunes an Evaluator.
@@ -25,6 +27,15 @@ type Options struct {
 	// it is cleared wholesale — values are deterministic functions of the
 	// point, so eviction never changes results, only hit rates.
 	MemoCap int
+	// Telemetry, when non-nil, mirrors the evaluator's counters into the
+	// shared metrics registry (udao_model_evals_total, udao_memo_*_total,
+	// eval-batch latency) and emits batch trace events. Single-point
+	// evaluation paths pay only atomic counter additions — no allocations —
+	// so the fused hot path stays alloc-free with telemetry attached.
+	Telemetry *telemetry.Telemetry
+	// RunID tags this evaluator's trace events with the logical run they
+	// belong to (e.g. one /optimize call's PF computation).
+	RunID string
 }
 
 func (o *Options) defaults() {
@@ -75,6 +86,17 @@ type Evaluator struct {
 	memoMu    sync.RWMutex
 	memo      map[string]objective.Point
 	memoFlush uint64 // wholesale clears (cache pressure diagnostics)
+
+	// Telemetry mirrors (nil when Options.Telemetry is nil). The counter
+	// pointers are resolved once at construction so the hot path never takes
+	// the registry lock.
+	telEvals   *telemetry.Counter
+	telHits    *telemetry.Counter
+	telMiss    *telemetry.Counter
+	telBatches *telemetry.Counter
+	telBatchH  *telemetry.Histogram
+	tracer     *telemetry.Tracer
+	runID      string
 }
 
 // NewEvaluator builds an evaluator over the problem.
@@ -95,6 +117,15 @@ func NewEvaluator(p *Problem, opts Options) *Evaluator {
 	}
 	if opts.MemoCap > 0 {
 		e.memo = make(map[string]objective.Point)
+	}
+	if tel := opts.Telemetry; tel != nil {
+		e.telEvals = tel.Metrics.Counter(telemetry.MetricModelEvals)
+		e.telHits = tel.Metrics.Counter(telemetry.MetricMemoHits)
+		e.telMiss = tel.Metrics.Counter(telemetry.MetricMemoMisses)
+		e.telBatches = tel.Metrics.Counter(telemetry.MetricEvalBatches)
+		e.telBatchH = tel.Metrics.Histogram(telemetry.MetricEvalBatchTime, "", nil)
+		e.tracer = tel.Trace
+		e.runID = opts.RunID
 	}
 	return e
 }
@@ -142,10 +173,12 @@ func (e *Evaluator) EvalInto(x []float64, f objective.Point) {
 	e.memoMu.RUnlock()
 	if ok {
 		e.memoHits.Add(1)
+		e.telHits.Add(1)
 		copy(f, cached)
 		return
 	}
 	e.memoMiss.Add(1)
+	e.telMiss.Add(1)
 	e.evalModels(x, f)
 	stored := f.Clone()
 	e.memoMu.Lock()
@@ -162,12 +195,14 @@ func (e *Evaluator) evalModels(x []float64, f objective.Point) {
 		f[j] = m.Predict(x)
 	}
 	e.evals.Add(uint64(len(e.eff)))
+	e.telEvals.Add(uint64(len(e.eff)))
 }
 
 // ObjValue returns the effective value of objective j at x (unmemoized
 // single-objective path).
 func (e *Evaluator) ObjValue(j int, x []float64) float64 {
 	e.evals.Add(1)
+	e.telEvals.Add(1)
 	return e.eff[j].Predict(x)
 }
 
@@ -180,9 +215,11 @@ func (e *Evaluator) ObjValue(j int, x []float64) float64 {
 func (e *Evaluator) ObjValueGrad(j int, x, grad []float64) (float64, []float64) {
 	v, g := e.vgs[j].ValueGrad(x, grad)
 	e.evals.Add(1)
+	e.telEvals.Add(1)
 	if !e.fused[j] {
 		v = e.eff[j].Predict(x)
 		e.evals.Add(1)
+		e.telEvals.Add(1)
 	}
 	return v, g
 }
@@ -195,6 +232,20 @@ func (e *Evaluator) EvalBatch(xs [][]float64) []objective.Point {
 	out := make([]objective.Point, len(xs))
 	if len(xs) == 0 {
 		return out
+	}
+	if e.telBatches != nil {
+		start := time.Now()
+		defer func() {
+			dur := time.Since(start)
+			e.telBatches.Add(1)
+			e.telBatchH.Observe(dur.Seconds())
+			if e.tracer.Enabled(telemetry.LevelVerbose) {
+				e.tracer.Emit(telemetry.LevelVerbose, telemetry.Event{
+					Run: e.runID, Scope: "eval", Name: "batch", Dur: dur,
+					Attrs: map[string]float64{"points": float64(len(xs))},
+				})
+			}
+		}()
 	}
 	workers := e.opts.Workers
 	if workers > len(xs) {

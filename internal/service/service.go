@@ -7,21 +7,30 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 
 	udao "repro"
 	"repro/internal/model"
 	"repro/internal/modelserver"
+	"repro/internal/telemetry"
 )
 
 // Service is the HTTP front end. Exact registers objectives that are known
 // functions of the knobs (e.g. cost in #cores) and need no learned model.
+// Telemetry, when non-nil, threads the shared registry and tracer through
+// every optimizer the service builds, adds the telemetry block to /optimize
+// responses, and extends the handler with /metrics and /debug/trace; Logger
+// receives the structured access log.
 type Service struct {
-	Server *modelserver.Server
-	Exact  map[string]model.Model
-	Seed   int64
+	Server    *modelserver.Server
+	Exact     map[string]model.Model
+	Seed      int64
+	Telemetry *telemetry.Telemetry
+	Logger    *slog.Logger
 
 	mu         sync.Mutex
 	optimizers map[string]*udao.Optimizer // keyed by workload+objectives
@@ -53,6 +62,19 @@ type OptimizeResponse struct {
 	UncertainSpace float64            `json:"uncertain_space"`
 	ModelEvals     uint64             `json:"model_evals"`
 	MemoHits       uint64             `json:"memo_hits"`
+	// Telemetry is present when the service runs with telemetry enabled.
+	Telemetry *RunTelemetry `json:"telemetry,omitempty"`
+}
+
+// RunTelemetry summarizes the observability of one /optimize answer: the
+// trace run ID (replayable via /debug/trace?run=<id>) and the optimizer's
+// evaluation-seam counters.
+type RunTelemetry struct {
+	RunID       string `json:"run_id"`
+	ModelEvals  uint64 `json:"model_evals"`
+	MemoHits    uint64 `json:"memo_hits"`
+	MemoMisses  uint64 `json:"memo_misses"`
+	TraceEvents int    `json:"trace_events"`
 }
 
 // resolveFor builds the objective list, pulling learned models from the
@@ -104,7 +126,7 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 		if probes == 0 {
 			probes = 30
 		}
-		opt, err = udao.NewOptimizer(s.Server.Space(), objs, udao.Options{Probes: probes, Seed: s.Seed})
+		opt, err = udao.NewOptimizer(s.Server.Space(), objs, udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry})
 		if err != nil {
 			return nil, err
 		}
@@ -126,19 +148,32 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	for i, v := range spc.Vars {
 		conf[v.Name] = float64(plan.Config[i])
 	}
-	hits, _ := opt.MemoStats()
-	return &OptimizeResponse{
+	hits, misses := opt.MemoStats()
+	resp := &OptimizeResponse{
 		Config:         conf,
 		Objectives:     plan.Objectives,
 		FrontierPoints: len(front),
 		UncertainSpace: uncertain,
 		ModelEvals:     opt.Evals(),
 		MemoHits:       hits,
-	}, nil
+	}
+	if s.Telemetry != nil {
+		resp.Telemetry = &RunTelemetry{
+			RunID:       opt.RunID(),
+			ModelEvals:  opt.Evals(),
+			MemoHits:    hits,
+			MemoMisses:  misses,
+			TraceEvents: len(s.Telemetry.Trace.Events(opt.RunID())),
+		}
+	}
+	return resp, nil
 }
 
 // Handler returns the HTTP mux: /predict and /workloads from the model
-// server, plus /optimize.
+// server, plus /optimize. With Telemetry set it also serves GET /metrics
+// (Prometheus text exposition) and GET /debug/trace?run=<id> (the buffered
+// trace events of one run, JSON), and wraps everything in the request-ID /
+// latency / access-log middleware.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	msHandler := s.Server.Handler()
@@ -156,7 +191,11 @@ func (s *Service) Handler() http.Handler {
 		}
 		resp, err := s.Optimize(req)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			code := http.StatusBadRequest
+			if errors.Is(err, modelserver.ErrNotFound) {
+				code = http.StatusNotFound
+			}
+			http.Error(w, err.Error(), code)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
@@ -164,5 +203,24 @@ func (s *Service) Handler() http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
-	return mux
+	if s.Telemetry == nil {
+		return mux
+	}
+	mux.Handle("/metrics", s.Telemetry.Metrics.Handler())
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		run := r.URL.Query().Get("run")
+		w.Header().Set("Content-Type", "application/json")
+		if run == "" {
+			// No run selected: list the runs still in the ring.
+			_ = json.NewEncoder(w).Encode(map[string]any{"runs": s.Telemetry.Trace.Runs()})
+			return
+		}
+		events := s.Telemetry.Trace.Events(run)
+		if len(events) == 0 {
+			http.Error(w, fmt.Sprintf("no trace events for run %q", run), http.StatusNotFound)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"run": run, "events": events})
+	})
+	return telemetry.Middleware(mux, s.Telemetry, s.Logger)
 }

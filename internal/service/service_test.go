@@ -3,15 +3,18 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/model"
 	"repro/internal/modelserver"
 	"repro/internal/space"
 	"repro/internal/spark"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -153,4 +156,163 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatalf("GET status = %d", r3.StatusCode)
 	}
 	r3.Body.Close()
+}
+
+// buildTelemetryService is buildService with telemetry threaded through.
+func buildTelemetryService(t *testing.T) (*Service, string) {
+	t.Helper()
+	svc, wl := buildService(t)
+	svc.Telemetry = telemetry.New()
+	return svc, wl
+}
+
+func TestHandlerTable(t *testing.T) {
+	svc, wl := buildTelemetryService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	happy, _ := json.Marshal(OptimizeRequest{Workload: wl, Weights: []float64{0.5, 0.5}, Probes: 12})
+	unknown, _ := json.Marshal(OptimizeRequest{Workload: "no-such-workload"})
+	cases := []struct {
+		name   string
+		method string
+		body   string
+		want   int
+	}{
+		{"bad json", http.MethodPost, "{not json", http.StatusBadRequest},
+		{"unknown workload", http.MethodPost, string(unknown), http.StatusNotFound},
+		{"method not allowed", http.MethodGet, "", http.StatusMethodNotAllowed},
+		{"happy path", http.MethodPost, string(happy), http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+"/optimize", bytes.NewReader([]byte(tc.body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			if resp.Header.Get("X-Request-ID") == "" {
+				t.Fatal("missing X-Request-ID header")
+			}
+			if tc.want != http.StatusOK {
+				return
+			}
+			var out OptimizeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				t.Fatal(err)
+			}
+			if out.ModelEvals == 0 {
+				t.Fatal("model_evals = 0 after optimization")
+			}
+			if out.Telemetry == nil {
+				t.Fatal("telemetry block missing")
+			}
+			if out.Telemetry.RunID == "" || out.Telemetry.TraceEvents == 0 {
+				t.Fatalf("telemetry block = %+v", out.Telemetry)
+			}
+			if out.Telemetry.MemoHits != out.MemoHits {
+				t.Fatalf("memo hits disagree: %d vs %d", out.Telemetry.MemoHits, out.MemoHits)
+			}
+		})
+	}
+}
+
+func TestMetricsAndTraceEndpoints(t *testing.T) {
+	svc, wl := buildTelemetryService(t)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(OptimizeRequest{Workload: wl, Probes: 12})
+	resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// /metrics must expose the acceptance-criteria families.
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(blob)
+	for _, name := range []string{
+		telemetry.MetricHTTPRequests,
+		telemetry.MetricHTTPLatency,
+		telemetry.MetricModelEvals,
+		telemetry.MetricMemoHits,
+		telemetry.MetricMOGDIterations,
+	} {
+		if !strings.Contains(text, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+
+	// /debug/trace replays the run end to end.
+	tr, err := http.Get(ts.URL + "/debug/trace?run=" + out.Telemetry.RunID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", tr.StatusCode)
+	}
+	var replay struct {
+		Run    string            `json:"run"`
+		Events []telemetry.Event `json:"events"`
+	}
+	if err := json.NewDecoder(tr.Body).Decode(&replay); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay.Events) == 0 {
+		t.Fatal("no events replayed")
+	}
+	scopes := map[string]bool{}
+	for _, e := range replay.Events {
+		if e.Run != out.Telemetry.RunID {
+			t.Fatalf("foreign event in replay: %+v", e)
+		}
+		scopes[e.Scope] = true
+	}
+	for _, want := range []string{"pf", "mogd"} {
+		if !scopes[want] {
+			t.Errorf("replay missing scope %q (got %v)", want, scopes)
+		}
+	}
+
+	// Unknown run is a 404; no run lists the known runs.
+	nf, _ := http.Get(ts.URL + "/debug/trace?run=bogus")
+	if nf.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run status = %d", nf.StatusCode)
+	}
+	nf.Body.Close()
+	ls, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Body.Close()
+	var runList struct {
+		Runs []string `json:"runs"`
+	}
+	if err := json.NewDecoder(ls.Body).Decode(&runList); err != nil {
+		t.Fatal(err)
+	}
+	if len(runList.Runs) == 0 {
+		t.Fatal("no runs listed")
+	}
 }

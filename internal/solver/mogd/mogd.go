@@ -34,12 +34,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/model"
 	"repro/internal/objective"
 	"repro/internal/problem"
 	"repro/internal/solver"
 	"repro/internal/space"
+	"repro/internal/telemetry"
 )
 
 // Problem couples the k objective models with an optional configuration
@@ -60,6 +62,13 @@ type Config struct {
 	Tol     float64 // feasibility tolerance on the normalized scale (default 1e-4)
 	Workers int     // max concurrent starts/probes across Solve+SolveBatch (default GOMAXPROCS)
 	Seed    int64
+	// Telemetry, when non-nil, feeds the solver's counters (iterations,
+	// boundary clamps, solves, infeasible solves) and emits one trace event
+	// per Solve (per-start events at LevelVerbose), tagged with RunID. The
+	// Adam inner loop pays no allocations and no atomics for it — per-start
+	// tallies are accumulated locally and flushed once per start.
+	Telemetry *telemetry.Telemetry
+	RunID     string
 }
 
 // validate rejects explicitly invalid settings; zero stays "default".
@@ -122,6 +131,15 @@ type Solver struct {
 	sem chan struct{}
 	// scratch recycles per-start buffers across Solve calls.
 	scratch sync.Pool
+
+	// Telemetry instruments (nil when Config.Telemetry is nil), resolved
+	// once at construction.
+	telIters  *telemetry.Counter
+	telClamps *telemetry.Counter
+	telSolves *telemetry.Counter
+	telInfeas *telemetry.Counter
+	tracer    *telemetry.Tracer
+	runID     string
 }
 
 // New validates the problem and configuration and builds a solver with its
@@ -156,6 +174,14 @@ func NewOnEvaluator(ev *problem.Evaluator, cfg Config) (*Solver, error) {
 		dim: ev.Dim(),
 		k:   ev.NumObjectives(),
 		sem: make(chan struct{}, cfg.Workers-1),
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		s.telIters = tel.Metrics.Counter(telemetry.MetricMOGDIterations)
+		s.telClamps = tel.Metrics.Counter(telemetry.MetricMOGDClamps)
+		s.telSolves = tel.Metrics.Counter(telemetry.MetricMOGDSolves)
+		s.telInfeas = tel.Metrics.Counter(telemetry.MetricMOGDInfeasible)
+		s.tracer = tel.Trace
+		s.runID = cfg.RunID
 	}
 	s.scratch.New = func() interface{} { return s.newStartScratch() }
 	return s, nil
@@ -267,11 +293,14 @@ func (s *Solver) lossAndGrad(co solver.CO, sc *startScratch) (loss float64) {
 	return loss
 }
 
-// startResult is one start's best feasible candidate.
+// startResult is one start's best feasible candidate, plus its telemetry
+// tally (iterations run and boundary clamps applied).
 type startResult struct {
-	sol objective.Solution
-	val float64
-	ok  bool
+	sol    objective.Solution
+	val    float64
+	ok     bool
+	iters  int
+	clamps int
 }
 
 // startPoints draws the multi-start initial iterates from a single RNG in
@@ -322,11 +351,21 @@ func (s *Solver) runStart(co solver.CO, x0 []float64, sc *startScratch) startRes
 			sc.mAdam[d] = b1*sc.mAdam[d] + (1-b1)*g
 			sc.vAdam[d] = b2*sc.vAdam[d] + (1-b2)*g*g
 			step := s.cfg.LR * (sc.mAdam[d] / c1) / (math.Sqrt(sc.vAdam[d]/c2) + eps)
-			// Clamp to the box: GD may push a variable to the boundary
-			// but never across it (paper §IV-B.1).
-			x[d] = clamp01(x[d] - step)
+			// Clamp to the box: GD may push a variable to the boundary but
+			// never across it (paper §IV-B.1). Inlined from clamp01 so the
+			// clamp tally comes for free; results stay bit-identical.
+			nv := x[d] - step
+			if nv < 0 {
+				nv = 0
+				res.clamps++
+			} else if nv > 1 {
+				nv = 1
+				res.clamps++
+			}
+			x[d] = nv
 		}
 	}
+	res.iters = s.cfg.Iters
 	s.ev.EvalInto(x, sc.f)
 	s.consider(co, sc, &res)
 	return res
@@ -370,6 +409,10 @@ func (s *Solver) consider(co solver.CO, sc *startScratch, res *startResult) {
 // start order, so Workers changes wall-clock only, never the answer.
 func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 	s.checkBounds(co)
+	var t0 time.Time
+	if s.telSolves != nil {
+		t0 = time.Now()
+	}
 	starts := s.startPoints(seed)
 	results := make([]startResult, len(starts))
 	var next int64 = -1
@@ -381,11 +424,66 @@ func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 				break
 			}
 			results[st] = s.runStart(co, starts[st], sc)
+			if s.tracer.Enabled(telemetry.LevelVerbose) {
+				r := &results[st]
+				s.tracer.Emit(telemetry.LevelVerbose, telemetry.Event{
+					Run: s.runID, Scope: "mogd", Name: "start",
+					Attrs: map[string]float64{
+						"start": float64(st), "iters": float64(r.iters),
+						"clamps": float64(r.clamps), "feasible": b2f(r.ok), "best": r.val,
+					},
+				})
+			}
 		}
 		s.scratch.Put(sc)
 	}
 	s.fanOut(len(results)-1, work)
-	return s.reduce(results)
+	sol, found := s.reduce(results)
+	if s.telSolves != nil {
+		s.observeSolve(co, results, sol, found, time.Since(t0))
+	}
+	return sol, found
+}
+
+// observeSolve flushes one Solve's telemetry: aggregate counters plus a
+// LevelRun trace event carrying the convergence outcome.
+func (s *Solver) observeSolve(co solver.CO, results []startResult, sol objective.Solution, found bool, dur time.Duration) {
+	iters, clamps, feasible := 0, 0, 0
+	for i := range results {
+		iters += results[i].iters
+		clamps += results[i].clamps
+		if results[i].ok {
+			feasible++
+		}
+	}
+	s.telIters.Add(uint64(iters))
+	s.telClamps.Add(uint64(clamps))
+	s.telSolves.Add(1)
+	reason := "feasible"
+	if !found {
+		s.telInfeas.Add(1)
+		reason = "no_feasible_point"
+	}
+	if s.tracer.Enabled(telemetry.LevelRun) {
+		attrs := map[string]float64{
+			"target": float64(co.Target), "starts": float64(len(results)),
+			"iters": float64(iters), "clamps": float64(clamps),
+			"feasible_starts": float64(feasible),
+		}
+		if found {
+			attrs["best"] = sol.F[co.Target]
+		}
+		s.tracer.Emit(telemetry.LevelRun, telemetry.Event{
+			Run: s.runID, Scope: "mogd", Name: "solve", Detail: reason, Dur: dur, Attrs: attrs,
+		})
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // checkBounds panics on malformed CO problems (a programming error, matching
@@ -444,6 +542,21 @@ func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
 	out := make([]solver.Result, len(cos))
 	for _, co := range cos {
 		s.checkBounds(co)
+	}
+	if s.tracer.Enabled(telemetry.LevelRun) {
+		start := time.Now()
+		defer func() {
+			ok := 0
+			for _, r := range out {
+				if r.OK {
+					ok++
+				}
+			}
+			s.tracer.Emit(telemetry.LevelRun, telemetry.Event{
+				Run: s.runID, Scope: "mogd", Name: "solve_batch", Dur: time.Since(start),
+				Attrs: map[string]float64{"problems": float64(len(cos)), "feasible": float64(ok)},
+			})
+		}()
 	}
 	var next int64 = -1
 	work := func() {

@@ -1,0 +1,73 @@
+package telemetry
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// statusWriter captures the response status code and size for the access
+// log and the per-route counters.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Middleware wraps an HTTP handler with the service-layer observability of
+// the tentpole: a process-unique request ID (returned as X-Request-ID), the
+// udao_http_requests_total counter (aggregate plus a per-route/per-code
+// series), the udao_http_latency_seconds histogram, a structured slog access
+// log, and a LevelRun trace event per request. A nil logger suppresses the
+// access log; tel must be non-nil.
+func Middleware(next http.Handler, tel *Telemetry, logger *slog.Logger) http.Handler {
+	requests := tel.Metrics.Counter(MetricHTTPRequests)
+	latency := tel.Metrics.Histogram(MetricHTTPLatency, "", nil)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := tel.NextRunID("req")
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		sw.Header().Set("X-Request-ID", id)
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+
+		requests.Inc()
+		tel.Metrics.Counter(MetricHTTPRequests + routeLabels(r.URL.Path, sw.code)).Inc()
+		latency.Observe(dur.Seconds())
+		tel.Trace.Emit(LevelRun, Event{
+			Run:    id,
+			Scope:  "http",
+			Name:   "request",
+			Detail: r.Method + " " + r.URL.Path,
+			Dur:    dur,
+			Attrs:  map[string]float64{"status": float64(sw.code), "bytes": float64(sw.bytes)},
+		})
+		if logger != nil {
+			logger.Info("http request",
+				"request_id", id,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", sw.code,
+				"bytes", sw.bytes,
+				"dur_ms", float64(dur.Microseconds())/1000,
+			)
+		}
+	})
+}
+
+// routeLabels renders the label block of the per-route request counter.
+func routeLabels(path string, code int) string {
+	return "{route=" + strconv.Quote(path) + ",code=\"" + strconv.Itoa(code) + "\"}"
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"bytes"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMiddleware(t *testing.T) {
+	tel := New()
+	var logBuf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&logBuf, nil))
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "no", http.StatusNotFound)
+			return
+		}
+		_, _ = w.Write([]byte("ok"))
+	})
+	h := Middleware(inner, tel, logger)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/optimize", nil))
+	if rec.Header().Get("X-Request-ID") == "" {
+		t.Fatal("missing X-Request-ID")
+	}
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/boom", nil))
+
+	if got := tel.Metrics.Counter(MetricHTTPRequests).Value(); got != 2 {
+		t.Fatalf("aggregate requests = %d, want 2", got)
+	}
+	if got := tel.Metrics.Counter(MetricHTTPRequests + `{route="/boom",code="404"}`).Value(); got != 1 {
+		t.Fatalf("labeled requests = %d, want 1", got)
+	}
+	if got := tel.Metrics.Histogram(MetricHTTPLatency, "", nil).Count(); got != 2 {
+		t.Fatalf("latency observations = %d, want 2", got)
+	}
+
+	evs := tel.Trace.Events("")
+	if len(evs) != 2 || evs[0].Scope != "http" || evs[1].Attrs["status"] != 404 {
+		t.Fatalf("trace events = %+v", evs)
+	}
+
+	logs := logBuf.String()
+	if !strings.Contains(logs, "path=/optimize") || !strings.Contains(logs, "status=404") {
+		t.Fatalf("access log missing fields:\n%s", logs)
+	}
+	if strings.Count(logs, "request_id=req-") != 2 {
+		t.Fatalf("access log missing request ids:\n%s", logs)
+	}
+}
+
+func TestMiddlewareNilLogger(t *testing.T) {
+	tel := New()
+	h := Middleware(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}), tel, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/x", nil))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}

@@ -1,0 +1,97 @@
+// Package telemetry is the observability substrate of the repository: a
+// dependency-free metrics registry (atomic counters, gauges and fixed-bucket
+// histograms with estimated p50/p95/p99), a structured solver-event trace
+// (ring-buffered, with an optional JSONL sink), and HTTP middleware that ties
+// both to the service layer.
+//
+// The paper's whole evaluation story (§VI, Figs. 4–5, 8) is about watching
+// the optimizer work — uncertain-space percentage over time, solving time per
+// subspace, model-evaluation cost. This package is the substrate that makes
+// those quantities observable in the running system: the optimizer stack
+// (problem.Evaluator, solver/mogd, core, the moo baselines, the model server)
+// feeds instruments and trace events through a shared *Telemetry handle, the
+// service exposes them over /metrics (Prometheus text), /debug/trace (run
+// replay) and expvar, and one `/optimize` call can be reconstructed end to
+// end through its run ID.
+//
+// Performance contract: a nil *Telemetry disables everything; with telemetry
+// attached at the default sampling level (LevelRun), hot loops pay only
+// atomic counter additions — trace events are emitted at unit-of-work
+// granularity (a Solve, a probe, a batch), never per iteration or per model
+// pass, so the PR-1/PR-2 zero-allocation hot paths stay allocation-free.
+// Every event emission is guarded by an atomic level check (Tracer.Enabled).
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Standard metric names fed by the optimizer stack. They are pre-registered
+// by New so a /metrics scrape is complete before any traffic arrives.
+const (
+	MetricHTTPRequests   = "udao_http_requests_total"
+	MetricHTTPLatency    = "udao_http_latency_seconds"
+	MetricModelEvals     = "udao_model_evals_total"
+	MetricMemoHits       = "udao_memo_hits_total"
+	MetricMemoMisses     = "udao_memo_misses_total"
+	MetricEvalBatches    = "udao_eval_batches_total"
+	MetricEvalBatchTime  = "udao_eval_batch_seconds"
+	MetricMOGDIterations = "udao_mogd_iterations_total"
+	MetricMOGDClamps     = "udao_mogd_clamps_total"
+	MetricMOGDSolves     = "udao_mogd_solves_total"
+	MetricMOGDInfeasible = "udao_mogd_infeasible_total"
+	MetricPFProbes       = "udao_pf_probes_total"
+	MetricPFExpansions   = "udao_pf_expansions_total"
+	MetricPFUncertain    = "udao_pf_uncertain_frac"
+	MetricModelTrainings = "udao_model_trainings_total"
+	MetricModelTrainTime = "udao_model_train_seconds"
+)
+
+// Telemetry bundles the two observability channels handed to instrumented
+// components: the metrics registry and the event trace. A nil *Telemetry is
+// valid everywhere and means "not instrumented".
+type Telemetry struct {
+	Metrics *Registry
+	Trace   *Tracer
+
+	runSeq atomic.Uint64
+}
+
+// New builds a Telemetry with a fresh registry (standard instruments
+// pre-registered) and a tracer at the default sampling level.
+func New() *Telemetry {
+	t := &Telemetry{Metrics: NewRegistry(), Trace: NewTracer(0)}
+	t.registerStandard()
+	return t
+}
+
+// registerStandard creates the metric families the optimizer stack feeds, so
+// they appear on /metrics (at zero) before the first request.
+func (t *Telemetry) registerStandard() {
+	r := t.Metrics
+	r.Counter(MetricHTTPRequests, "HTTP requests served (also broken out by route and status code)")
+	r.Histogram(MetricHTTPLatency, "HTTP request latency in seconds", nil)
+	r.Counter(MetricModelEvals, "model passes performed by evaluators")
+	r.Counter(MetricMemoHits, "evaluator memoization cache hits")
+	r.Counter(MetricMemoMisses, "evaluator memoization cache misses")
+	r.Counter(MetricEvalBatches, "evaluator batch evaluations")
+	r.Histogram(MetricEvalBatchTime, "evaluator batch latency in seconds", nil)
+	r.Counter(MetricMOGDIterations, "MOGD Adam iterations executed")
+	r.Counter(MetricMOGDClamps, "MOGD boundary clamps applied")
+	r.Counter(MetricMOGDSolves, "MOGD constrained solves completed")
+	r.Counter(MetricMOGDInfeasible, "MOGD solves that found no feasible point")
+	r.Counter(MetricPFProbes, "Progressive Frontier probes issued")
+	r.Counter(MetricPFExpansions, "Progressive Frontier Expand calls completed")
+	r.Gauge(MetricPFUncertain, "uncertain fraction of the last reported PF run")
+	r.Counter(MetricModelTrainings, "model server (re)trainings and fine-tunings")
+	r.Histogram(MetricModelTrainTime, "model server training latency in seconds", nil)
+}
+
+// NextRunID returns a fresh process-unique run identifier with the given
+// prefix (e.g. "opt-17"). Run IDs tie together every trace event of one
+// logical operation — all events of one /optimize call carry the same ID, so
+// /debug/trace?run=<id> replays it end to end.
+func (t *Telemetry) NextRunID(prefix string) string {
+	return fmt.Sprintf("%s-%d", prefix, t.runSeq.Add(1))
+}

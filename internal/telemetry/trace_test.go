@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerLevelsAndRing(t *testing.T) {
+	tr := NewTracer(4)
+	if !tr.Enabled(LevelRun) || tr.Enabled(LevelVerbose) {
+		t.Fatal("default level should be LevelRun")
+	}
+	tr.Emit(LevelVerbose, Event{Scope: "x", Name: "dropped"})
+	if got := len(tr.Events("")); got != 0 {
+		t.Fatalf("verbose event recorded at LevelRun: %d events", got)
+	}
+
+	for i := 0; i < 6; i++ { // overflow the 4-slot ring
+		tr.Emit(LevelRun, Event{Run: "r1", Scope: "pf", Name: "probe", Attrs: map[string]float64{"i": float64(i)}})
+	}
+	evs := tr.Events("")
+	if len(evs) != 4 {
+		t.Fatalf("ring kept %d events, want 4", len(evs))
+	}
+	// Oldest events were evicted; order is preserved.
+	if evs[0].Attrs["i"] != 2 || evs[3].Attrs["i"] != 5 {
+		t.Fatalf("ring order wrong: first=%v last=%v", evs[0].Attrs["i"], evs[3].Attrs["i"])
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("sequence numbers not increasing")
+		}
+	}
+
+	tr.SetLevel(LevelOff)
+	tr.Emit(LevelRun, Event{Scope: "pf", Name: "probe"})
+	if len(tr.Events("")) != 4 {
+		t.Fatal("LevelOff still recorded")
+	}
+}
+
+func TestTracerRunFilterAndRuns(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Emit(LevelRun, Event{Run: "a", Scope: "pf", Name: "probe"})
+	tr.Emit(LevelRun, Event{Run: "b", Scope: "mogd", Name: "solve"})
+	tr.Emit(LevelRun, Event{Run: "a", Scope: "pf", Name: "expand"})
+	tr.Emit(LevelRun, Event{Scope: "http", Name: "request"}) // no run
+
+	if evs := tr.Events("a"); len(evs) != 2 || evs[0].Name != "probe" || evs[1].Name != "expand" {
+		t.Fatalf("run filter wrong: %+v", evs)
+	}
+	runs := tr.Runs()
+	if len(runs) != 2 || runs[0] != "a" || runs[1] != "b" {
+		t.Fatalf("runs = %v", runs)
+	}
+}
+
+func TestTracerJSONLSink(t *testing.T) {
+	tr := NewTracer(16)
+	var buf bytes.Buffer
+	tr.SetSink(&buf)
+	tr.Emit(LevelRun, Event{Run: "r", Scope: "mogd", Name: "solve", Detail: "feasible", Dur: 5 * time.Millisecond, Attrs: map[string]float64{"starts": 8}})
+	tr.Emit(LevelRun, Event{Run: "r", Scope: "pf", Name: "probe"})
+	tr.SetSink(nil)
+	tr.Emit(LevelRun, Event{Run: "r", Scope: "pf", Name: "after-detach"})
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink got %d lines, want 2", len(lines))
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if e.Run != "r" || e.Scope != "mogd" || e.Detail != "feasible" || e.Attrs["starts"] != 8 {
+		t.Fatalf("decoded event = %+v", e)
+	}
+}
+
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled(LevelRun) {
+		t.Fatal("nil tracer enabled")
+	}
+	tr.Emit(LevelRun, Event{})
+	tr.SetLevel(LevelVerbose)
+	tr.SetSink(nil)
+	if tr.Events("") != nil || tr.Runs() != nil || tr.Level() != LevelOff {
+		t.Fatal("nil tracer should be inert")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/solver"
 	"repro/internal/solver/exact"
 	"repro/internal/solver/mogd"
+	"repro/internal/telemetry"
 )
 
 // Model predicts one objective from an encoded configuration; Gaussian
@@ -93,6 +94,13 @@ type Options struct {
 	Seed int64
 	// OnProgress receives frontier-progress snapshots.
 	OnProgress func(core.Snapshot)
+	// Telemetry, when non-nil, threads the shared metrics registry and tracer
+	// through the evaluator, the solver and the PF loop, so one Optimize call
+	// can be reconstructed end to end from its trace events.
+	Telemetry *telemetry.Telemetry
+	// RunID tags this optimizer's trace events; NewOptimizer derives one
+	// ("opt-N") when Telemetry is set and RunID is empty.
+	RunID string
 }
 
 // Plan is one Pareto-optimal configuration with its predicted objective
@@ -133,8 +141,15 @@ func NewOptimizer(spc *Space, objs []Objective, opt Options) (*Optimizer, error)
 			return nil, fmt.Errorf("udao: objective %q model dim %d != space dim %d (objective %d)", o.Name, o.Model.Dim(), spc.Dim(), i)
 		}
 	}
+	if opt.Telemetry != nil && opt.RunID == "" {
+		opt.RunID = opt.Telemetry.NextRunID("opt")
+	}
 	return &Optimizer{spc: spc, objs: objs, opt: opt}, nil
 }
+
+// RunID returns the trace run ID tagging this optimizer's telemetry events
+// ("" when telemetry is disabled).
+func (o *Optimizer) RunID() string { return o.opt.RunID }
 
 // models returns the minimization-oriented models.
 func (o *Optimizer) models() []model.Model {
@@ -194,6 +209,8 @@ func (o *Optimizer) Expand(probes int) ([]Plan, error) {
 			Grid:       o.opt.Grid,
 			Seed:       o.opt.Seed,
 			OnProgress: o.opt.OnProgress,
+			Telemetry:  o.opt.Telemetry,
+			RunID:      o.opt.RunID,
 		}
 		copt.Lower, copt.Upper = o.bounds()
 		var s interface {
@@ -235,13 +252,13 @@ func (o *Optimizer) evaluator() (*problem.Evaluator, error) {
 		if err != nil {
 			return nil, fmt.Errorf("udao: %w", err)
 		}
-		o.ev = problem.NewEvaluator(p, problem.Options{Alpha: o.opt.Alpha})
+		o.ev = problem.NewEvaluator(p, problem.Options{Alpha: o.opt.Alpha, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID})
 	}
 	return o.ev, nil
 }
 
 func (o *Optimizer) mogdSolver(ev *problem.Evaluator) (*mogd.Solver, error) {
-	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed})
+	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID})
 }
 
 // Evals reports the model passes performed by this optimizer's solvers so

@@ -11,7 +11,12 @@
 #
 # Covered benchmarks:
 #   internal/model/dnn   Predict / Gradient / ValueGrad / PredictVar
-#   internal/problem     EvaluatorMemoHit / EvaluatorMemoMiss / EvalBatch[Serial]
+#   internal/problem     EvaluatorMemoHit[Telemetry] / EvaluatorMemoMiss /
+#                        EvaluatorValueGrad[Telemetry] / EvalBatch[Serial]
+#                        (the *Telemetry variants run with the full metrics
+#                        registry + tracer attached at default sampling; the
+#                        diff against their plain twins is the telemetry
+#                        overhead, expected ~1% time and 0 extra allocs)
 #   internal/solver/mogd MOGDSolve / MOGDSolveSerial / MOGDSolveBatch
 #   internal/moo/ws, nc  WSRun / NCRun  (baseline inner loops)
 #   internal/core        Sequential / Parallel  (PF-S / PF-AP end to end)

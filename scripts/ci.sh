@@ -4,8 +4,8 @@
 #   1. gofmt lint (no unformatted files)
 #   2. go vet + full build
 #   3. race-detector pass over the concurrent hot paths (solver, models,
-#      core, the problem-layer evaluator) and the cross-method conformance
-#      suite
+#      core, the problem-layer evaluator), the cross-method conformance
+#      suite, and the telemetry registry + HTTP service layer
 #   4. full test suite
 #   5. benchmark smoke: one iteration of the MOGD benchmarks, so a broken
 #      benchmark harness fails CI instead of the next perf investigation
@@ -22,7 +22,7 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/solver/... ./internal/model/... ./internal/core/... ./internal/problem/... ./internal/conformance/...
+go test -race ./internal/solver/... ./internal/model/... ./internal/core/... ./internal/problem/... ./internal/conformance/... ./internal/telemetry/... ./internal/service/...
 go test ./...
 go test -run '^$' -bench MOGD -benchtime 1x ./internal/solver/mogd/
 
