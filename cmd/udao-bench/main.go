@@ -144,6 +144,8 @@ func (r *runner) fig4a() error {
 	}
 	experiments.WriteTimeToFirst(os.Stdout, results)
 	fmt.Println()
+	experiments.WriteQualityTable(os.Stdout, setup, results)
+	fmt.Println()
 	experiments.WriteUncertainSeries(os.Stdout, results)
 	return nil
 }

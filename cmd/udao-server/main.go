@@ -8,6 +8,11 @@
 //	POST /predict     {"workload": "...", "objective": "latency", "x": [...]}
 //	GET  /workloads
 //	POST /optimize    {"workload": "...", "weights": [0.9, 0.1], "probes": 30}
+//	GET  /runs        recorded optimization runs (?workload=, ?limit=, ?since=)
+//	GET  /runs/{id}   one full run record (frontier, quality, counters)
+//	GET  /workloads/{name}/quality  frontier-quality series of one workload
+//	GET  /healthz     liveness
+//	GET  /readyz      readiness (model server + run-registry writability)
 //	GET  /metrics     Prometheus text exposition of the udao_* metrics
 //	GET  /debug/trace replay one optimizer run (?run=opt-1) or list runs
 //	GET  /debug/vars  expvar JSON (includes the metrics snapshot)
@@ -37,6 +42,7 @@ import (
 	"repro/internal/bench/tpcxbb"
 	"repro/internal/model"
 	"repro/internal/modelserver"
+	"repro/internal/runlog"
 	"repro/internal/service"
 	"repro/internal/space"
 	"repro/internal/spark"
@@ -52,7 +58,10 @@ var (
 	seed       = flag.Int64("seed", 1, "random seed")
 	pprofFlag  = flag.Bool("pprof", false, "serve net/http/pprof profiles under /debug/pprof/ (opt-in)")
 	traceLevel = flag.String("trace-level", "run", "solver trace sampling: off, run or verbose")
-	traceSink  = flag.String("trace-sink", "", "append trace events as JSON lines to this file")
+	traceSink  = flag.String("trace-sink", "", "append trace events as JSON lines to this file (size-bounded, rotated)")
+	sinkMaxMB  = flag.Int("trace-sink-max-mb", 0, "rotate the trace sink past this many MiB (0 uses the 64 MiB default)")
+	runsPath   = flag.String("runs", "runs.jsonl", "run-registry JSONL file recording every /optimize call (empty disables)")
+	runsMaxMB  = flag.Int("runs-max-mb", 0, "rotate the run registry past this many MiB (0 uses the 64 MiB default)")
 )
 
 func main() {
@@ -72,7 +81,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *traceSink != "" {
-		f, err := os.OpenFile(*traceSink, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := runlog.OpenRotating(*traceSink, int64(*sinkMaxMB)<<20, 0)
 		if err != nil {
 			logger.Error("opening trace sink", "err", err)
 			os.Exit(1)
@@ -124,6 +133,16 @@ func main() {
 	svc.Seed = *seed
 	svc.Telemetry = tel
 	svc.Logger = logger
+	if *runsPath != "" {
+		reg, err := runlog.Open(*runsPath, runlog.Options{MaxBytes: int64(*runsMaxMB) << 20})
+		if err != nil {
+			logger.Error("opening run registry", "path", *runsPath, "err", err)
+			os.Exit(1)
+		}
+		defer reg.Close()
+		svc.Runs = reg
+		logger.Info("run registry open", "path", *runsPath, "records", reg.Len())
+	}
 	// Cost in #cores is a known function of the knobs: register it exactly.
 	svc.Exact["cores"] = model.Func{D: spc.Dim(), F: func(x []float64) float64 {
 		vals, err := spc.Decode(x)

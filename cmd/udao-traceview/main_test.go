@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestGoldenOutputs renders every report mode from the static JSONL fixtures
+// and compares against checked-in golden output — the CLI must produce its
+// reports from the artifacts alone, deterministically.
+func TestGoldenOutputs(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"dashboard", []string{"-runs", "testdata/runs.jsonl"}, "testdata/dashboard.golden"},
+		{"workload", []string{"-runs", "testdata/runs.jsonl", "-workload", "q1-w001"}, "testdata/workload.golden"},
+		{"run", []string{"-runs", "testdata/runs.jsonl", "-trace", "testdata/trace.jsonl", "run-000002"}, "testdata/run.golden"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			if *update {
+				if err := os.WriteFile(tc.golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(tc.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := buf.String(); got != string(want) {
+				t.Errorf("output differs from %s (re-bless with -update):\n--- got ---\n%s\n--- want ---\n%s", tc.golden, got, want)
+			}
+		})
+	}
+}
+
+func TestRunReportFlagsAndErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-runs", "testdata/runs.jsonl", "run-999999"}, &buf); err == nil {
+		t.Error("unknown run ID did not error")
+	}
+	buf.Reset()
+	if err := run([]string{"-runs", "testdata/runs.jsonl", "-workload", "absent"}, &buf); err == nil {
+		t.Error("unknown workload did not error")
+	}
+	buf.Reset()
+	if err := run([]string{"-runs", filepath.Join(t.TempDir(), "missing.jsonl")}, &buf); err == nil {
+		t.Error("missing registry did not error")
+	}
+	// A record without trace events still renders, with a note.
+	buf.Reset()
+	if err := run([]string{"-runs", "testdata/runs.jsonl", "-trace", "testdata/trace.jsonl", "run-000003"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no trace events for run opt-3") {
+		t.Errorf("missing-trace note absent:\n%s", buf.String())
+	}
+	// The regression flags fire on the crafted run-000004 record.
+	buf.Reset()
+	if err := run([]string{"-runs", "testdata/runs.jsonl", "-workload", "q1-w001"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, flag := range []string{"hypervolume-drop", "inconsistent", "slow"} {
+		if !strings.Contains(buf.String(), flag) {
+			t.Errorf("workload report missing %q flag", flag)
+		}
+	}
+}

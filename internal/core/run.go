@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/objective"
 	"repro/internal/telemetry"
 )
@@ -22,6 +23,25 @@ type Run struct {
 	// degenerate marks a frontier that collapsed to a single point during
 	// initialization; further expansion is a no-op.
 	degenerate bool
+	// history records one ExpandStep per Expand call — the incremental
+	// trajectory the run registry persists and udao-traceview replays.
+	history []ExpandStep
+}
+
+// ExpandStep summarizes one Expand call of a run: the probes it invested,
+// the cumulative probe count, the frontier size, hypervolume and uncertain
+// fraction it reached, and its wall-clock cost. Hypervolume is measured in
+// the [utopia, nadir] box spanned by every plan probed so far — the box can
+// widen as later expands discover more extreme points, so the trajectory is
+// an indicator, not a strictly comparable series; it is NaN while the box is
+// degenerate (fewer than two distinct points).
+type ExpandStep struct {
+	Probes        int
+	TotalProbes   int
+	Frontier      int
+	Hypervolume   float64
+	UncertainFrac float64
+	Elapsed       time.Duration
 }
 
 // NewRun prepares a resumable run; no probes are issued until Expand.
@@ -81,11 +101,34 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 	return u.Frontier(), nil
 }
 
-// finishExpand closes one Expand call's telemetry span: the probes invested,
-// the resulting frontier size and the uncertain space left.
+// finishExpand closes one Expand call: it appends the step to the run's
+// history and, with telemetry attached, closes the telemetry span — the
+// probes invested, the resulting frontier size and the uncertain space left.
 func (u *Run) finishExpand(t0 time.Time, startProbes int) {
 	st := u.st
-	if st == nil || st.telProbes == nil {
+	if st == nil {
+		return
+	}
+	front := objective.Filter(st.plans)
+	frontier := len(front)
+	all := make([]objective.Point, len(st.plans))
+	for i := range st.plans {
+		all[i] = st.plans[i].F
+	}
+	pts := make([]objective.Point, len(front))
+	for i := range front {
+		pts[i] = front[i].F
+	}
+	utopia, nadir := objective.Bounds(all)
+	u.history = append(u.history, ExpandStep{
+		Probes:        st.probes - startProbes,
+		TotalProbes:   st.probes,
+		Frontier:      frontier,
+		Hypervolume:   metrics.Hypervolume(pts, utopia, nadir),
+		UncertainFrac: u.UncertainFrac(),
+		Elapsed:       time.Since(t0),
+	})
+	if st.telProbes == nil {
 		return
 	}
 	st.observe() // flush any probes issued since the last report
@@ -99,12 +142,21 @@ func (u *Run) finishExpand(t0 time.Time, startProbes int) {
 			Attrs: map[string]float64{
 				"probes":         float64(st.probes - startProbes),
 				"total_probes":   float64(st.probes),
-				"frontier":       float64(len(objective.Filter(st.plans))),
+				"frontier":       float64(frontier),
 				"uncertain_frac": st.uncertainFrac(),
 				"degenerate":     boolAttr(u.degenerate),
 			},
 		})
 	}
+}
+
+// History returns one step per Expand call so far (a copy) — the §IV-A
+// incremental trajectory: frontier size and uncertain fraction after each
+// additional probe investment.
+func (u *Run) History() []ExpandStep {
+	out := make([]ExpandStep, len(u.history))
+	copy(out, u.history)
+	return out
 }
 
 func boolAttr(b bool) float64 {

@@ -45,6 +45,37 @@ func TestRunIncrementalExpansion(t *testing.T) {
 	if r.Probes() > 30 {
 		t.Fatalf("probes = %d for budget 28", r.Probes())
 	}
+	// History: one step per Expand call, cumulative probes monotone, and the
+	// recorded trajectory matches the run's final state.
+	h := r.History()
+	if len(h) != 2 {
+		t.Fatalf("history has %d steps, want 2", len(h))
+	}
+	if h[0].Probes+h[1].Probes != h[1].TotalProbes || h[1].TotalProbes != r.Probes() {
+		t.Fatalf("history probe accounting: %+v vs total %d", h, r.Probes())
+	}
+	if h[1].Frontier != len(f2) {
+		t.Fatalf("history frontier = %d, want %d", h[1].Frontier, len(f2))
+	}
+	if h[1].UncertainFrac > h[0].UncertainFrac {
+		t.Fatalf("history uncertainty grew: %+v", h)
+	}
+	if h[0].Elapsed <= 0 || h[1].Elapsed <= 0 {
+		t.Fatalf("history elapsed not recorded: %+v", h)
+	}
+	for i, st := range h {
+		if !math.IsNaN(st.Hypervolume) && (st.Hypervolume < 0 || st.Hypervolume > 1) {
+			t.Fatalf("history[%d] hypervolume = %v", i, st.Hypervolume)
+		}
+	}
+	if math.IsNaN(h[1].Hypervolume) || h[1].Hypervolume <= 0 {
+		t.Fatalf("final hypervolume = %v, want positive", h[1].Hypervolume)
+	}
+	// The returned slice is a copy: mutating it cannot corrupt the run.
+	h[0].Frontier = -1
+	if r.History()[0].Frontier == -1 {
+		t.Fatal("History returned internal storage")
+	}
 }
 
 func TestRunExhaustion(t *testing.T) {

@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/objective"
 )
 
@@ -111,8 +113,16 @@ func TestCompareMethodsFig4a(t *testing.T) {
 	var buf bytes.Buffer
 	WriteUncertainSeries(&buf, results)
 	WriteTimeToFirst(&buf, results)
+	WriteQualityTable(&buf, setup, results)
 	if !strings.Contains(buf.String(), "PF-AP") {
 		t.Fatal("missing method in output")
+	}
+	if !strings.Contains(buf.String(), "hypervolume") {
+		t.Fatal("missing quality table in output")
+	}
+	hv := metrics.Hypervolume(pf.Frontier, setup.Utopia, setup.Nadir)
+	if math.IsNaN(hv) || hv <= 0 || hv > 1 {
+		t.Fatalf("PF-AP hypervolume = %v", hv)
 	}
 }
 

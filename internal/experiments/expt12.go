@@ -104,6 +104,34 @@ func WriteTimeToFirst(w io.Writer, results []MethodResult) {
 	}
 }
 
+// WriteQualityTable prints each method's final frontier quality in the
+// setup's [Utopia, Nadir] box: the dominated-hypervolume fraction (higher is
+// better), the frontier coverage and the final uncertain space — the §VI
+// quality comparison behind the Fig. 4/5 frontier plots. Degenerate boxes
+// render as "?" (the metrics package's NaN sentinel).
+func WriteQualityTable(w io.Writer, setup *Setup, results []MethodResult) {
+	fmt.Fprintf(w, "%-8s %14s %10s %14s %8s\n", "method", "hypervolume", "coverage", "uncertain(%)", "points")
+	for _, r := range results {
+		hv := metrics.Hypervolume(r.Frontier, setup.Utopia, setup.Nadir)
+		cov := metrics.Coverage(r.Frontier, setup.Utopia, setup.Nadir)
+		final := 1.0
+		if n := len(r.Series); n > 0 {
+			final = r.Series[n-1].Uncertain
+		}
+		fmt.Fprintf(w, "%-8s %14s %10d %14.1f %8d\n",
+			r.Method, fmtMetric(hv), cov, 100*final, len(r.Frontier))
+	}
+}
+
+// fmtMetric renders a quality value, mapping the NaN degenerate-box sentinel
+// to "?".
+func fmtMetric(v float64) string {
+	if v != v { // NaN
+		return "?"
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
 // FrontierRows formats a frontier as "F1 F2 [F3]" rows — Fig. 4(b)/4(c),
 // 5(a)–(c), 8(b)–(d).
 func FrontierRows(front []objective.Point) []string {

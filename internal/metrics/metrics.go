@@ -22,11 +22,34 @@ import (
 	"repro/internal/objective"
 )
 
+// BoxValid reports whether [utopia, nadir] is a usable reference box: equal
+// non-zero dimensionality, all corners finite, and nadir no smaller than
+// utopia on every axis. Zero-span axes (utopia[i] == nadir[i]) are allowed —
+// Normalize maps them to 0. The quality measures return the NaN sentinel on
+// an invalid box instead of silently producing garbage volumes.
+func BoxValid(utopia, nadir objective.Point) bool {
+	if len(utopia) == 0 || len(utopia) != len(nadir) {
+		return false
+	}
+	for i := range utopia {
+		if math.IsNaN(utopia[i]) || math.IsInf(utopia[i], 0) ||
+			math.IsNaN(nadir[i]) || math.IsInf(nadir[i], 0) ||
+			nadir[i] < utopia[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // UncertainFraction returns the fraction of the [utopia, nadir] box left
 // uncertain by the frontier points. 2D is computed exactly by a sweep;
 // higher dimensions use a deterministic Monte Carlo estimate (30k samples,
-// fixed seed), which is accurate to ~0.6%.
+// fixed seed), which is accurate to ~0.6%. A degenerate box (inverted or
+// non-finite corners, see BoxValid) yields NaN.
 func UncertainFraction(points []objective.Point, utopia, nadir objective.Point) float64 {
+	if !BoxValid(utopia, nadir) {
+		return math.NaN()
+	}
 	k := len(utopia)
 	inside := clipToBox(points, utopia, nadir)
 	if len(inside) == 0 {
@@ -39,11 +62,16 @@ func UncertainFraction(points []objective.Point, utopia, nadir objective.Point) 
 }
 
 // clipToBox normalizes the points into [0,1]^k relative to the box and
-// clamps them onto it; points are deduplicated.
+// clamps them onto it; points are deduplicated, and points with the wrong
+// dimensionality or non-finite components are dropped — callers are not
+// required to pre-clean the frontier.
 func clipToBox(points []objective.Point, utopia, nadir objective.Point) []objective.Point {
 	seen := make(map[string]bool)
 	var out []objective.Point
 	for _, p := range points {
+		if !pointUsable(p, len(utopia)) {
+			continue
+		}
 		q := objective.Normalize(p, utopia, nadir)
 		key := ""
 		for i := range q {
@@ -61,6 +89,20 @@ func clipToBox(points []objective.Point, utopia, nadir objective.Point) []object
 		}
 	}
 	return out
+}
+
+// pointUsable reports whether p has the box's dimensionality and only finite
+// components.
+func pointUsable(p objective.Point, k int) bool {
+	if len(p) != k {
+		return false
+	}
+	for _, v := range p {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
 }
 
 func fmtKey(v float64) string {
@@ -140,8 +182,13 @@ func uncertainMC(pts []objective.Point, _, _ objective.Point, samples int) float
 // Hypervolume returns the fraction of the [utopia, nadir] box dominated by
 // the frontier — the standard hypervolume indicator with the Nadir point as
 // reference (higher is better). 2D is exact; higher dimensions use the same
-// deterministic Monte Carlo estimate as UncertainFraction.
+// deterministic Monte Carlo estimate as UncertainFraction. Out-of-box points
+// are clamped onto the box and non-finite or wrong-dimension points dropped;
+// a degenerate box (see BoxValid) yields NaN.
 func Hypervolume(points []objective.Point, utopia, nadir objective.Point) float64 {
+	if !BoxValid(utopia, nadir) {
+		return math.NaN()
+	}
 	inside := clipToBox(points, utopia, nadir)
 	if len(inside) == 0 {
 		return 0
@@ -190,16 +237,21 @@ func Hypervolume(points []objective.Point, utopia, nadir objective.Point) float6
 // box, and the maximum over prev is returned. A consistent, incremental
 // algorithm like PF yields 0 (every earlier point is retained or improved);
 // randomized methods like Evo yield large values when later runs contradict
-// earlier recommendations (Fig. 4(e)).
+// earlier recommendations (Fig. 4(e)). A degenerate box (see BoxValid)
+// yields NaN; unusable points (wrong dimension, non-finite) are dropped
+// before comparison.
 func Consistency(prev, next []objective.Point, utopia, nadir objective.Point) float64 {
-	if len(prev) == 0 {
-		return 0
-	}
-	if len(next) == 0 {
-		return math.Inf(1)
+	if !BoxValid(utopia, nadir) {
+		return math.NaN()
 	}
 	np := clipToBox(prev, utopia, nadir)
 	nn := clipToBox(next, utopia, nadir)
+	if len(np) == 0 {
+		return 0
+	}
+	if len(nn) == 0 {
+		return math.Inf(1)
+	}
 	worst := 0.0
 	for _, p := range np {
 		best := math.Inf(1)
@@ -221,8 +273,12 @@ func Consistency(prev, next []objective.Point, utopia, nadir objective.Point) fl
 
 // Coverage counts the points of the frontier that fall inside the box and
 // are mutually non-dominated — the "number of Pareto points produced"
-// reported for WS/NC in Fig. 4(b).
+// reported for WS/NC in Fig. 4(b). A degenerate box (see BoxValid) yields 0:
+// no point can be meaningfully placed in it.
 func Coverage(points []objective.Point, utopia, nadir objective.Point) int {
+	if !BoxValid(utopia, nadir) {
+		return 0
+	}
 	inside := clipToBox(points, utopia, nadir)
 	n := 0
 	for i, p := range inside {

@@ -167,6 +167,71 @@ func TestCoverage(t *testing.T) {
 	}
 }
 
+func TestDegenerateBoxSentinels(t *testing.T) {
+	pts := []objective.Point{{0.5, 0.5}}
+	inverted := objective.Point{1, 1}
+	origin := objective.Point{0, 0}
+	if !math.IsNaN(UncertainFraction(pts, inverted, origin)) {
+		t.Fatal("inverted box: UncertainFraction should be NaN")
+	}
+	if !math.IsNaN(Hypervolume(pts, inverted, origin)) {
+		t.Fatal("inverted box: Hypervolume should be NaN")
+	}
+	if !math.IsNaN(Consistency(pts, pts, inverted, origin)) {
+		t.Fatal("inverted box: Consistency should be NaN")
+	}
+	if c := Coverage(pts, inverted, origin); c != 0 {
+		t.Fatalf("inverted box: Coverage = %d, want 0", c)
+	}
+	nan := objective.Point{math.NaN(), 1}
+	if !math.IsNaN(Hypervolume(pts, origin, nan)) {
+		t.Fatal("NaN corner: Hypervolume should be NaN")
+	}
+	inf := objective.Point{math.Inf(1), 1}
+	if !math.IsNaN(Hypervolume(pts, origin, inf)) {
+		t.Fatal("Inf corner: Hypervolume should be NaN")
+	}
+	if len(origin) != 2 || BoxValid(origin, objective.Point{1}) {
+		t.Fatal("dimension mismatch should invalidate the box")
+	}
+	// Zero-span axes stay valid (Normalize maps them to 0).
+	if !BoxValid(objective.Point{0, 0}, objective.Point{0, 1}) {
+		t.Fatal("zero-span axis should keep the box valid")
+	}
+}
+
+func TestUnusablePointsDropped(t *testing.T) {
+	clean := []objective.Point{{0.5, 0.5}}
+	dirty := []objective.Point{
+		{0.5, 0.5},
+		{math.NaN(), 0.2},  // non-finite: dropped
+		{0.1, math.Inf(1)}, // non-finite: dropped
+		{0.1, 0.2, 0.3},    // wrong dimension: dropped
+		{-3, 0.5},          // out of box: clamped onto it
+		{0.5, 7},           // out of box: clamped onto it
+	}
+	// The clamped points land on the box faces and only shrink uncertainty;
+	// the key property is that no NaN leaks out and HV stays finite.
+	hv := Hypervolume(dirty, u2, n2)
+	if math.IsNaN(hv) || hv < Hypervolume(clean, u2, n2) {
+		t.Fatalf("dirty HV = %v", hv)
+	}
+	if u := UncertainFraction(dirty, u2, n2); math.IsNaN(u) || u > UncertainFraction(clean, u2, n2) {
+		t.Fatalf("dirty uncertainty = %v", u)
+	}
+	if c := Consistency(dirty, dirty, u2, n2); c != 0 {
+		t.Fatalf("dirty self-consistency = %v", c)
+	}
+	// A frontier of only unusable points behaves like an empty one.
+	junk := []objective.Point{{math.NaN(), math.NaN()}}
+	if u := UncertainFraction(junk, u2, n2); u != 1 {
+		t.Fatalf("junk uncertainty = %v, want 1", u)
+	}
+	if hv := Hypervolume(junk, u2, n2); hv != 0 {
+		t.Fatalf("junk HV = %v, want 0", hv)
+	}
+}
+
 func TestDuplicateDedup(t *testing.T) {
 	a := []objective.Point{{0.5, 0.5}}
 	b := []objective.Point{{0.5, 0.5}, {0.5, 0.5}, {0.5, 0.5}}

@@ -125,6 +125,26 @@ func New(spc *space.Space, store *trace.Store, cfg Config) *Server {
 // Store exposes the underlying trace store (for collection).
 func (s *Server) Store() *trace.Store { return s.store }
 
+// Ping reports whether the model server can answer model requests: the trace
+// store and decision space it trains over must be attached. The service's
+// /readyz gate calls it — in the paper's deployment the model server is a
+// separate process behind a socket, and the MOO side must not report ready
+// until its model source is reachable.
+func (s *Server) Ping() error {
+	if s == nil {
+		return fmt.Errorf("modelserver: nil server: %w", ErrNotFound)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return errors.New("modelserver: no trace store attached")
+	}
+	if s.spc == nil {
+		return errors.New("modelserver: no decision space attached")
+	}
+	return nil
+}
+
 // Space exposes the decision space models are trained over.
 func (s *Server) Space() *space.Space { return s.spc }
 

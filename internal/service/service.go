@@ -12,25 +12,39 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"time"
 
 	udao "repro"
 	"repro/internal/model"
 	"repro/internal/modelserver"
+	"repro/internal/runlog"
 	"repro/internal/telemetry"
 )
+
+// DefaultSLO is the solve-latency objective the per-workload SLO counters
+// are judged against when Service.SLO is unset — the paper's "recommend a
+// configuration within a few seconds" requirement (§I).
+const DefaultSLO = 3 * time.Second
 
 // Service is the HTTP front end. Exact registers objectives that are known
 // functions of the knobs (e.g. cost in #cores) and need no learned model.
 // Telemetry, when non-nil, threads the shared registry and tracer through
 // every optimizer the service builds, adds the telemetry block to /optimize
 // responses, and extends the handler with /metrics and /debug/trace; Logger
-// receives the structured access log.
+// receives the structured access log. Runs, when non-nil, is the durable run
+// registry: every successful /optimize is recorded (quality metrics
+// computed inline, the disk write buffered off the hot path) and served
+// back over GET /runs, GET /runs/{id} and GET /workloads/{name}/quality;
+// /readyz gates on its writability. SLO bounds the per-workload
+// solve-latency SLO counters (zero uses DefaultSLO).
 type Service struct {
 	Server    *modelserver.Server
 	Exact     map[string]model.Model
 	Seed      int64
 	Telemetry *telemetry.Telemetry
 	Logger    *slog.Logger
+	Runs      *runlog.Registry
+	SLO       time.Duration
 
 	mu         sync.Mutex
 	optimizers map[string]*udao.Optimizer // keyed by workload+objectives
@@ -62,6 +76,9 @@ type OptimizeResponse struct {
 	UncertainSpace float64            `json:"uncertain_space"`
 	ModelEvals     uint64             `json:"model_evals"`
 	MemoHits       uint64             `json:"memo_hits"`
+	// RunRecord is the run-registry record ID of this call (retrievable via
+	// GET /runs/{id}); present when the service runs with a registry.
+	RunRecord string `json:"run_record,omitempty"`
 	// Telemetry is present when the service runs with telemetry enabled.
 	Telemetry *RunTelemetry `json:"telemetry,omitempty"`
 }
@@ -105,8 +122,10 @@ func (s *Service) resolveFor(workload string, names []string) ([]udao.Objective,
 
 // Optimize computes a frontier (cached per workload+objectives, so repeated
 // requests with different weights answer from the cached frontier, §II-B)
-// and recommends with WUN.
+// and recommends with WUN. With a run registry attached, every successful
+// call is recorded end to end; the record ID is returned in the response.
 func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
+	start := time.Now()
 	if req.Workload == "" {
 		return nil, fmt.Errorf("service: workload required")
 	}
@@ -166,11 +185,122 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 			TraceEvents: len(s.Telemetry.Trace.Events(opt.RunID())),
 		}
 	}
+	solveDur := time.Since(start)
+	s.observeSolve(req.Workload, solveDur)
+	if s.Runs != nil {
+		resp.RunRecord = s.record(req, opt, resp, uncertain, misses, solveDur)
+	}
 	return resp, nil
 }
 
+// slo returns the configured solve-latency objective.
+func (s *Service) slo() time.Duration {
+	if s.SLO > 0 {
+		return s.SLO
+	}
+	return DefaultSLO
+}
+
+// observeSolve feeds the per-workload solve-latency histogram and SLO
+// counters.
+func (s *Service) observeSolve(workload string, d time.Duration) {
+	if s.Telemetry == nil {
+		return
+	}
+	m := s.Telemetry.Metrics
+	sec := d.Seconds()
+	m.Histogram(telemetry.MetricSolveLatency, "", nil).Observe(sec)
+	m.Histogram(fmt.Sprintf("%s{workload=%q}", telemetry.MetricSolveLatency, workload), "", nil).Observe(sec)
+	name := telemetry.MetricSolveSLOOk
+	if d > s.slo() {
+		name = telemetry.MetricSolveSLOBreach
+	}
+	m.Counter(name).Inc()
+	m.Counter(fmt.Sprintf("%s{workload=%q}", name, workload)).Inc()
+}
+
+// record appends one run to the registry (quality metrics computed inline,
+// the disk write buffered off the hot path by the registry) and exports the
+// frontier-quality gauges. It returns the assigned record ID ("" when the
+// append failed — recording never fails a served answer).
+func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *OptimizeResponse, uncertain float64, misses uint64, solveDur time.Duration) string {
+	spc := s.Server.Space()
+	vars := make([]string, len(spc.Vars))
+	for i, v := range spc.Vars {
+		vars[i] = v.Name
+	}
+	objectives := req.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{"latency", "cores"}
+	}
+	pts := opt.FrontierPoints()
+	front := make([]runlog.FrontierPoint, len(pts))
+	for i, f := range pts {
+		front[i] = runlog.FrontierPoint{F: f}
+	}
+	var expands []runlog.ExpandStep
+	for _, st := range opt.ExpandHistory() {
+		expands = append(expands, runlog.ExpandStep{
+			Probes:        st.Probes,
+			TotalProbes:   st.TotalProbes,
+			Frontier:      st.Frontier,
+			Hypervolume:   st.Hypervolume,
+			UncertainFrac: st.UncertainFrac,
+			ElapsedSec:    st.Elapsed.Seconds(),
+		})
+	}
+	rec := runlog.Record{
+		Workload:    req.Workload,
+		Objectives:  objectives,
+		Weights:     req.Weights,
+		Probes:      req.Probes,
+		Space:       runlog.SpaceInfo{Vars: vars, Dim: spc.Dim()},
+		Frontier:    front,
+		Recommended: resp.Config,
+		Objective:   resp.Objectives,
+		Quality:     runlog.Quality{UncertainFrac: uncertain},
+		Evals:       resp.ModelEvals,
+		MemoHits:    resp.MemoHits,
+		MemoMisses:  misses,
+		SolveSec:    solveDur.Seconds(),
+		Expands:     expands,
+		TraceRunID:  opt.RunID(),
+	}
+	stored, err := s.Runs.Append(rec)
+	if err != nil {
+		if s.Telemetry != nil {
+			s.Telemetry.Metrics.Counter(telemetry.MetricRunRecordErrors).Inc()
+		}
+		if s.Logger != nil {
+			s.Logger.Error("run registry append failed", "workload", req.Workload, "err", err)
+		}
+		return ""
+	}
+	s.exportQuality(req.Workload, stored.Quality)
+	return stored.ID
+}
+
+// exportQuality publishes the frontier-quality gauges, globally and broken
+// out per workload.
+func (s *Service) exportQuality(workload string, q runlog.Quality) {
+	if s.Telemetry == nil {
+		return
+	}
+	m := s.Telemetry.Metrics
+	set := func(name string, v float64) {
+		m.Gauge(name).Set(v)
+		m.Gauge(fmt.Sprintf("%s{workload=%q}", name, workload)).Set(v)
+	}
+	set(telemetry.MetricFrontierHypervolume, q.Hypervolume)
+	set(telemetry.MetricFrontierCoverage, float64(q.Coverage))
+	set(telemetry.MetricRunQualityDelta, q.HypervolumeDelta)
+	m.Counter(telemetry.MetricRunRecords).Inc()
+}
+
 // Handler returns the HTTP mux: /predict and /workloads from the model
-// server, plus /optimize. With Telemetry set it also serves GET /metrics
+// server, plus /optimize, /healthz, /readyz and the run-registry endpoints
+// (GET /runs, GET /runs/{id}, GET /workloads/{name}/quality — 503 when no
+// registry is attached). With Telemetry set it also serves GET /metrics
 // (Prometheus text exposition) and GET /debug/trace?run=<id> (the buffered
 // trace events of one run, JSON), and wraps everything in the request-ID /
 // latency / access-log middleware.
@@ -179,6 +309,7 @@ func (s *Service) Handler() http.Handler {
 	msHandler := s.Server.Handler()
 	mux.Handle("/predict", msHandler)
 	mux.Handle("/workloads", msHandler)
+	s.registerObservability(mux)
 	mux.HandleFunc("/optimize", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)

@@ -48,6 +48,21 @@ const (
 	MetricModelTrainTime = "udao_model_train_seconds"
 )
 
+// Frontier-quality and run-registry metric names, fed by the service layer
+// on every recorded /optimize call (PR: run registry + frontier-quality
+// observability). The gauges also appear broken out per workload, e.g.
+// udao_frontier_hypervolume{workload="q10-w009"}.
+const (
+	MetricFrontierHypervolume = "udao_frontier_hypervolume"
+	MetricFrontierCoverage    = "udao_frontier_coverage"
+	MetricRunQualityDelta     = "udao_run_quality_delta"
+	MetricSolveLatency        = "udao_solve_seconds"
+	MetricSolveSLOOk          = "udao_solve_slo_ok_total"
+	MetricSolveSLOBreach      = "udao_solve_slo_breach_total"
+	MetricRunRecords          = "udao_run_records_total"
+	MetricRunRecordErrors     = "udao_run_record_errors_total"
+)
+
 // Telemetry bundles the two observability channels handed to instrumented
 // components: the metrics registry and the event trace. A nil *Telemetry is
 // valid everywhere and means "not instrumented".
@@ -86,6 +101,14 @@ func (t *Telemetry) registerStandard() {
 	r.Gauge(MetricPFUncertain, "uncertain fraction of the last reported PF run")
 	r.Counter(MetricModelTrainings, "model server (re)trainings and fine-tunings")
 	r.Histogram(MetricModelTrainTime, "model server training latency in seconds", nil)
+	r.Gauge(MetricFrontierHypervolume, "hypervolume of the last recorded frontier (also per workload)")
+	r.Gauge(MetricFrontierCoverage, "Pareto points of the last recorded frontier (also per workload)")
+	r.Gauge(MetricRunQualityDelta, "hypervolume delta of the last recorded run vs its predecessor (also per workload)")
+	r.Histogram(MetricSolveLatency, "end-to-end /optimize solve latency in seconds (also per workload)", nil)
+	r.Counter(MetricSolveSLOOk, "solves that met the latency SLO (also per workload)")
+	r.Counter(MetricSolveSLOBreach, "solves that missed the latency SLO (also per workload)")
+	r.Counter(MetricRunRecords, "runs appended to the run registry")
+	r.Counter(MetricRunRecordErrors, "run-registry appends that failed")
 }
 
 // NextRunID returns a fresh process-unique run identifier with the given

@@ -261,6 +261,31 @@ func (o *Optimizer) mogdSolver(ev *problem.Evaluator) (*mogd.Solver, error) {
 	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID})
 }
 
+// FrontierPoints returns the cached frontier as minimization-oriented
+// objective vectors (maximized objectives negated, per Problem III.1) — the
+// space every frontier-quality metric (hypervolume, coverage, consistency)
+// is computed in. The slices are copies; nil before the first frontier.
+func (o *Optimizer) FrontierPoints() [][]float64 {
+	if len(o.frontier) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(o.frontier))
+	for i, s := range o.frontier {
+		out[i] = append([]float64(nil), s.F...)
+	}
+	return out
+}
+
+// ExpandHistory returns one step per Expand call of the underlying
+// Progressive Frontier run — the §IV-A incremental trajectory recorded by
+// the run registry. Nil before the first frontier computation.
+func (o *Optimizer) ExpandHistory() []core.ExpandStep {
+	if o.run == nil {
+		return nil
+	}
+	return o.run.History()
+}
+
 // Evals reports the model passes performed by this optimizer's solvers so
 // far — the comparable evaluation count of the paper's efficiency axis.
 func (o *Optimizer) Evals() uint64 {

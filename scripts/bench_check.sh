@@ -1,0 +1,93 @@
+#!/bin/sh
+# bench_check.sh — benchmark regression gate. Runs the tracked Evaluator and
+# MOGD benchmarks fresh and compares ns/op against the last recorded run in
+# BENCH_solver.json (the history scripts/bench.sh maintains). Fails when any
+# tracked benchmark regressed more than the tolerance (default 15%), or when
+# EvaluatorValueGrad stopped being allocation-free (the PR-1 contract).
+#
+# Usage: scripts/bench_check.sh [tolerance-percent]
+#
+# The fresh numbers are NOT recorded — use scripts/bench.sh for that. CPU
+# differences between the recording machine and this one can trip the gate;
+# the failure message prints both sides so that is easy to spot.
+set -eu
+
+cd "$(dirname "$0")/.."
+BASE=BENCH_solver.json
+TOL="${1:-15}"
+
+if [ ! -f "$BASE" ]; then
+    echo "bench_check: no $BASE baseline — run scripts/bench.sh first" >&2
+    exit 1
+fi
+
+# Tracked benchmarks: the evaluator seam and the MOGD solver hot path.
+TRACKED='EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit MOGDSolve MOGDSolveSerial'
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench 'Evaluator' -benchmem -benchtime 1s ./internal/problem/ >>"$RAW"
+go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
+
+# Baseline ns/op and allocs/op of benchmark $1, taken from the LAST run in
+# BENCH_solver.json that contains it (the file is self-generated, one
+# benchmark entry per line).
+baseline() {
+    awk -v name="\"$1\":" '
+        index($0, name) { line = $0 }
+        END {
+            if (line == "") exit 1
+            match(line, /"ns_op": [0-9]+/);     ns = substr(line, RSTART+9, RLENGTH-9)
+            match(line, /"allocs_op": [0-9]+/); al = substr(line, RSTART+13, RLENGTH-13)
+            print ns, al
+        }' "$BASE"
+}
+
+# Fresh ns/op and allocs/op of benchmark $1. The benchmark name may or may
+# not carry the -GOMAXPROCS suffix depending on the machine.
+fresh() {
+    awk -v plain="Benchmark$1" -v prefixed="Benchmark$1-" '
+        $1 == plain || index($1, prefixed) == 1 { ns = $3; al = $7 }
+        END {
+            if (ns == "") exit 1
+            printf "%d %d\n", ns, al
+        }' "$RAW"
+}
+
+FAILED=0
+for b in $TRACKED; do
+    if ! BASE_VALS=$(baseline "$b"); then
+        echo "bench_check: $b missing from $BASE baseline — skipping" >&2
+        continue
+    fi
+    if ! FRESH_VALS=$(fresh "$b"); then
+        echo "bench_check: FAIL $b did not run (harness broken?)" >&2
+        FAILED=1
+        continue
+    fi
+    BASE_NS=${BASE_VALS% *};  BASE_AL=${BASE_VALS#* }
+    FRESH_NS=${FRESH_VALS% *}; FRESH_AL=${FRESH_VALS#* }
+    # Integer math: regression iff fresh > base * (100 + TOL) / 100.
+    LIMIT=$(( BASE_NS * (100 + TOL) / 100 ))
+    if [ "$FRESH_NS" -gt "$LIMIT" ]; then
+        echo "bench_check: FAIL $b ns/op regressed: $BASE_NS -> $FRESH_NS (limit $LIMIT, tol ${TOL}%)" >&2
+        FAILED=1
+    else
+        echo "bench_check: ok   $b ns/op $BASE_NS -> $FRESH_NS"
+    fi
+    # Allocation contract: a zero-alloc baseline (EvaluatorValueGrad*) must
+    # stay at zero; non-zero baselines get 2% slack for scheduler jitter in
+    # the multi-start benchmarks.
+    ALIMIT=$(( BASE_AL + BASE_AL / 50 ))
+    if [ "$FRESH_AL" -gt "$ALIMIT" ]; then
+        echo "bench_check: FAIL $b allocs/op grew: $BASE_AL -> $FRESH_AL (limit $ALIMIT)" >&2
+        FAILED=1
+    fi
+done
+
+if [ "$FAILED" -ne 0 ]; then
+    echo "bench_check: regression gate failed (baseline: last run in $BASE)" >&2
+    exit 1
+fi
+echo "bench_check: all tracked benchmarks within ${TOL}% of the recorded baseline"
