@@ -1,0 +1,134 @@
+package conformance
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/objective"
+	"repro/internal/solver"
+	"repro/internal/solver/mogd"
+)
+
+// cachedSolver builds a MOGD solver with the given subproblem-cache capacity
+// (0 = default on, negative = off) over a fresh evaluator.
+func cachedSolver(t *testing.T, objs synthetic, cacheCap int) *mogd.Solver {
+	t.Helper()
+	s, err := mogd.NewOnEvaluator(newEvaluator(t, objs.objs), mogd.Config{
+		Starts: 3, Iters: 40, Seed: 5, CacheCap: cacheCap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestWarmStartDeterminism pins the subproblem cache's core contract: a full
+// Progressive Frontier run with the cache on produces the bit-identical
+// frontier of a run with the cache off. Replays only ever return what a fresh
+// solve would compute, so caching changes wall-clock, never results.
+func TestWarmStartDeterminism(t *testing.T) {
+	for _, p := range problems() {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			opt := core.Options{Probes: 14, Seed: 7}
+			on, err := core.Sequential(cachedSolver(t, p, 0), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := core.Sequential(cachedSolver(t, p, -1), opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("cache changed the frontier:\nwith cache: %v\nwithout:    %v", on, off)
+			}
+		})
+	}
+}
+
+// TestWarmStartReplayIsBitIdentical drives the cache directly: re-solving the
+// exact (co, seed) subproblem must hit the cache and return the identical
+// solution, while a different seed or box must not.
+func TestWarmStartReplayIsBitIdentical(t *testing.T) {
+	p := problems()[0]
+	s := cachedSolver(t, p, 0)
+	co := unconstrained(len(p.objs), 0)
+	first, ok1 := s.Solve(co, 31)
+	if !ok1 {
+		t.Fatal("no solution on an unconstrained problem")
+	}
+	replay, ok2 := s.Solve(co, 31)
+	if !ok2 || !reflect.DeepEqual(first, replay) {
+		t.Fatalf("cache replay differs from the original solve:\n%v\nvs\n%v", first, replay)
+	}
+	hits, misses, rejects := s.CacheStats()
+	if hits != 1 || misses != 1 || rejects != 0 {
+		t.Fatalf("unexpected cache traffic: hits=%d misses=%d rejects=%d", hits, misses, rejects)
+	}
+	if _, ok := s.Solve(co, 32); !ok {
+		t.Fatal("seed 32 solve failed")
+	}
+	if hits2, _, _ := s.CacheStats(); hits2 != 1 {
+		t.Fatal("a different seed must not hit the cache")
+	}
+}
+
+// TestCachePoisonGuard primes the cache with an incumbent whose objective
+// values lie outside the requested constraint box — the guard must reject the
+// entry at lookup (counting a reject) and fall back to a fresh solve rather
+// than clamping the bogus point into the frontier.
+func TestCachePoisonGuard(t *testing.T) {
+	p := problems()[0]
+	s := cachedSolver(t, p, 0)
+	k := len(p.objs)
+	ev := s.Evaluator()
+
+	// A finite box around the unconstrained optimum of objective 0.
+	ref, ok := s.Solve(unconstrained(k, 0), 3)
+	if !ok {
+		t.Fatal("reference solve failed")
+	}
+	lo := make([]float64, k)
+	hi := make([]float64, k)
+	for j := range lo {
+		lo[j] = ref.F[j] - 1
+		hi[j] = ref.F[j] + 1
+	}
+	co := solver.CO{Target: 0, Lo: lo, Hi: hi}
+	const seed = 47
+
+	// Poison: a valid configuration whose F values sit far outside the box.
+	x := make([]float64, ev.Dim())
+	for d := range x {
+		x[d] = 0.25
+	}
+	f := ev.Eval(x)
+	for j := range f {
+		f[j] = hi[j] + 100 // blatantly infeasible for this box
+	}
+	s.Prime(co, seed, objective.Solution{X: x, F: f}, true)
+
+	sol, ok := s.Solve(co, seed)
+	if ok {
+		for j := range sol.F {
+			if sol.F[j] < lo[j]-1e-6 || sol.F[j] > hi[j]+1e-6 {
+				t.Fatalf("poisoned incumbent leaked: F[%d] = %v outside [%v, %v]", j, sol.F[j], lo[j], hi[j])
+			}
+		}
+		if math.Abs(sol.F[0]-f[0]) < 1e-9 {
+			t.Fatal("solve returned the primed values verbatim")
+		}
+	}
+	if _, _, rejects := s.CacheStats(); rejects != 1 {
+		t.Fatalf("poisoned entry not rejected: rejects=%d", rejects)
+	}
+
+	// The fresh result must match a never-poisoned solver exactly.
+	clean := cachedSolver(t, p, 0)
+	want, wantOK := clean.Solve(co, seed)
+	if ok != wantOK || !reflect.DeepEqual(sol, want) {
+		t.Fatalf("post-rejection solve differs from a clean solver:\n%v (%v)\nvs\n%v (%v)", sol, ok, want, wantOK)
+	}
+}

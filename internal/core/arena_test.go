@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestArenaCarving pins the arena contract: same-step slices are disjoint,
+// growth keeps earlier slices valid, and reuse is only counted for steps
+// served without growth.
+func TestArenaCarving(t *testing.T) {
+	var a stepArena
+	a.reset() // empty step counts no reuse
+	if a.reuses != 0 {
+		t.Fatalf("empty reset counted a reuse")
+	}
+	first := a.take(3)
+	second := a.copyOf([]float64{1, 2, 3})
+	first[0] = 7 // must not alias second
+	if second[0] != 1 || second[1] != 2 || second[2] != 3 {
+		t.Fatalf("copyOf aliased an earlier carve: %v", second)
+	}
+	big := a.take(4096) // forces growth mid-step
+	big[0] = 9
+	if first[0] != 7 {
+		t.Fatalf("growth invalidated an outstanding slice")
+	}
+	a.reset()
+	if a.reuses != 0 {
+		t.Fatalf("grown step counted as a reuse")
+	}
+	a.take(8)
+	a.reset()
+	if a.reuses != 1 {
+		t.Fatalf("in-capacity step not counted: reuses=%d", a.reuses)
+	}
+}
+
+// TestArenaReuseCounterExported runs a full PF expansion with telemetry and
+// checks steady-state steps land in udao_pf_arena_reuses_total — the signal
+// that probe construction stopped allocating.
+func TestArenaReuseCounterExported(t *testing.T) {
+	tel := telemetry.New()
+	s := mogdSolver(t)
+	opt := Options{Probes: 12, Telemetry: tel}
+	if _, err := Sequential(s, opt); err != nil {
+		t.Fatal(err)
+	}
+	if v := tel.Metrics.Counter(telemetry.MetricPFArenaReuse).Value(); v == 0 {
+		t.Fatal("no arena reuses recorded over a multi-step sequential run")
+	}
+}

@@ -191,11 +191,15 @@ func initialRect(plans []objective.Solution) (objective.Rect, bool) {
 
 // middleCO builds the Middle Point Probe CO problem of Definition III.3 for
 // a hyperrectangle: minimize the target within [Utopia, (Utopia+Nadir)/2].
-func middleCO(r objective.Rect, target int) solver.CO {
-	mid := r.Middle()
+// Bound vectors live in the step arena — valid until the next step's reset.
+func (r *run) middleCO(rect objective.Rect, target int) solver.CO {
+	mid := r.arena.take(len(rect.Utopia))
+	for d := range mid {
+		mid[d] = (rect.Utopia[d] + rect.Nadir[d]) / 2
+	}
 	return solver.CO{
 		Target: target,
-		Lo:     append([]float64(nil), r.Utopia...),
+		Lo:     r.arena.copyOf(rect.Utopia),
 		Hi:     mid,
 	}
 }
@@ -215,12 +219,21 @@ type run struct {
 	probes   int
 	seq      int
 	rng      *rand.Rand
+	// arena carves each step's CO bound vectors; cos/retryIdx/retryCOs are
+	// the parallel step's reusable batch slices. Together they make
+	// steady-state expansion allocation-free on the probe-construction side.
+	arena    stepArena
+	cos      []solver.CO
+	retryIdx []int
+	retryCOs []solver.CO
 
 	// Telemetry instruments (nil when Options.Telemetry is nil).
 	telProbes    *telemetry.Counter
 	telUncertain *telemetry.Gauge
+	telArena     *telemetry.Counter
 	tracer       *telemetry.Tracer
-	lastProbes   int // probes already flushed to telProbes
+	lastProbes   int    // probes already flushed to telProbes
+	lastReuses   uint64 // arena reuses already flushed to telArena
 }
 
 // newRunState builds the shared state, resolving telemetry instruments once.
@@ -229,6 +242,7 @@ func newRunState(s solver.Solver, opt Options) *run {
 	if tel := opt.Telemetry; tel != nil {
 		r.telProbes = tel.Metrics.Counter(telemetry.MetricPFProbes)
 		r.telUncertain = tel.Metrics.Gauge(telemetry.MetricPFUncertain)
+		r.telArena = tel.Metrics.Counter(telemetry.MetricPFArenaReuse)
 		r.tracer = tel.Trace
 	}
 	return r
@@ -312,6 +326,10 @@ func (r *run) observe() {
 		r.telProbes.Add(uint64(d))
 		r.lastProbes = r.probes
 	}
+	if d := r.arena.reuses - r.lastReuses; d > 0 {
+		r.telArena.Add(d)
+		r.lastReuses = r.arena.reuses
+	}
 	frac := r.uncertainFrac()
 	r.telUncertain.Set(frac)
 	if r.tracer.Enabled(telemetry.LevelRun) {
@@ -336,12 +354,13 @@ func (r *run) observe() {
 // the target over [Utopia, Nadir] either finds a Pareto point of the
 // rectangle (Proposition A.1) that subdivides it, or proves the rectangle
 // holds no feasible point at all and it can be discarded. This keeps failed
-// probes from fragmenting empty regions indefinitely.
-func fullCO(r objective.Rect, target int) solver.CO {
+// probes from fragmenting empty regions indefinitely. Bound vectors live in
+// the step arena.
+func (r *run) fullCO(rect objective.Rect, target int) solver.CO {
 	return solver.CO{
 		Target: target,
-		Lo:     append([]float64(nil), r.Utopia...),
-		Hi:     append([]float64(nil), r.Nadir...),
+		Lo:     r.arena.copyOf(rect.Utopia),
+		Hi:     r.arena.copyOf(rect.Nadir),
 	}
 }
 
@@ -400,14 +419,15 @@ func Parallel(s solver.Solver, opt Options) ([]objective.Solution, error) {
 // stepSequential performs one Middle Point Probe (with its full-box
 // fallback) on the largest queued hyperrectangle.
 func (r *run) stepSequential() {
+	r.arena.reset()
 	it := r.pop()
-	co := middleCO(it.rect, r.opt.Target)
+	co := r.middleCO(it.rect, r.opt.Target)
 	sol, found := r.s.Solve(co, r.opt.Seed+int64(r.probes)*1_000_003)
 	r.probes++
 	if !found {
 		// The lower half-box is empty; fall back to probing the whole
 		// rectangle before giving up on it.
-		sol, found = r.s.Solve(fullCO(it.rect, r.opt.Target), r.opt.Seed+int64(r.probes)*1_000_003+1)
+		sol, found = r.s.Solve(r.fullCO(it.rect, r.opt.Target), r.opt.Seed+int64(r.probes)*1_000_003+1)
 		r.probes++
 	}
 	if found {
@@ -423,23 +443,26 @@ func (r *run) stepSequential() {
 // and probes every cell simultaneously, retrying failed cells once over
 // their full boxes.
 func (r *run) stepParallel() {
+	r.arena.reset()
 	it := r.pop()
 	cells := it.rect.GridCells(r.opt.Grid)
-	cos := make([]solver.CO, len(cells))
-	for i, c := range cells {
-		cos[i] = middleCO(c, r.opt.Target)
+	cos := r.cos[:0]
+	for _, c := range cells {
+		cos = append(cos, r.middleCO(c, r.opt.Target))
 	}
+	r.cos = cos
 	results := r.s.SolveBatch(cos, r.opt.Seed+int64(r.probes)*1_000_003)
 	r.probes += len(cells)
 	// Failed cells get one full-box retry as a second batch.
-	var retryIdx []int
-	var retryCOs []solver.CO
+	retryIdx := r.retryIdx[:0]
+	retryCOs := r.retryCOs[:0]
 	for i, res := range results {
 		if !res.OK {
 			retryIdx = append(retryIdx, i)
-			retryCOs = append(retryCOs, fullCO(cells[i], r.opt.Target))
+			retryCOs = append(retryCOs, r.fullCO(cells[i], r.opt.Target))
 		}
 	}
+	r.retryIdx, r.retryCOs = retryIdx, retryCOs
 	if len(retryCOs) > 0 {
 		retried := r.s.SolveBatch(retryCOs, r.opt.Seed+int64(r.probes)*1_000_003+1)
 		r.probes += len(retryCOs)

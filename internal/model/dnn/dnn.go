@@ -81,6 +81,9 @@ type Net struct {
 	// makes those paths safe for concurrent callers. A zero-value or
 	// hand-assembled Net (nil pool) falls back to per-call allocation.
 	pool *sync.Pool
+	// bpool recycles batched-pass scratch matrices (see batch.go) with the
+	// same contract: per-Net, concurrent-safe, nil falls back to allocation.
+	bpool *sync.Pool
 }
 
 // scratch holds the per-call buffers of one forward/backprop pass.
@@ -145,6 +148,7 @@ func New(inDim int, cfg Config) *Net {
 		n.Layers = append(n.Layers, l)
 	}
 	n.pool = &sync.Pool{New: func() interface{} { return n.newScratch() }}
+	n.bpool = n.ensureBPool()
 	return n
 }
 

@@ -1,0 +1,47 @@
+package evo
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/model/dnn"
+	"repro/internal/moo"
+	"repro/internal/problem"
+	"repro/internal/telemetry"
+)
+
+// TestPopulationUsesBatchedPath asserts the NSGA-II cohort evaluation rides
+// the evaluator's matrix path when the objectives are batch-capable DNNs: the
+// eval-batch point counter must account for every model-evaluated individual
+// instead of staying at zero (which would mean the per-point fallback ran).
+func TestPopulationUsesBatchedPath(t *testing.T) {
+	tel := telemetry.New()
+	lat := dnn.New(4, dnn.Config{Hidden: []int{8, 8}, Seed: 1})
+	cost := dnn.New(4, dnn.Config{Hidden: []int{8, 8}, Seed: 2})
+	p, err := problem.New([]model.Model{lat, cost}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := problem.NewEvaluator(p, problem.Options{Telemetry: tel})
+	m := &Method{Evaluator: ev, MinGens: 5, GensPerPoint: 1}
+	sols, err := m.Run(moo.Options{Points: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) == 0 {
+		t.Fatal("evo returned no solutions")
+	}
+	pts := tel.Metrics.Counter(telemetry.MetricEvalBatchPts).Value()
+	batches := tel.Metrics.Counter(telemetry.MetricEvalBatches).Value()
+	if batches == 0 {
+		t.Fatal("no EvalBatch calls recorded")
+	}
+	if pts == 0 {
+		t.Fatalf("matrix path never engaged: %d batches evaluated 0 points through it", batches)
+	}
+	// Every model pass of the run must have come from the batched path plus
+	// memo hits — pts (points × k objectives) accounts for all evals.
+	if evals := ev.Evals(); evals != pts*2 {
+		t.Fatalf("evals %d != 2×batched points %d: some cohort points took the per-point loop", evals, pts)
+	}
+}

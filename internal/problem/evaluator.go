@@ -79,6 +79,9 @@ type Evaluator struct {
 	// fused[j] reports whether eff[j] is the raw model, i.e. a fused
 	// ValueGrad value can be reported directly.
 	fused []bool
+	// allBatch reports whether every effective objective has a native batched
+	// pass, enabling EvalBatch's matrix path.
+	allBatch bool
 
 	evals     atomic.Uint64
 	memoHits  atomic.Uint64
@@ -90,13 +93,14 @@ type Evaluator struct {
 	// Telemetry mirrors (nil when Options.Telemetry is nil). The counter
 	// pointers are resolved once at construction so the hot path never takes
 	// the registry lock.
-	telEvals   *telemetry.Counter
-	telHits    *telemetry.Counter
-	telMiss    *telemetry.Counter
-	telBatches *telemetry.Counter
-	telBatchH  *telemetry.Histogram
-	tracer     *telemetry.Tracer
-	runID      string
+	telEvals    *telemetry.Counter
+	telHits     *telemetry.Counter
+	telMiss     *telemetry.Counter
+	telBatches  *telemetry.Counter
+	telBatchH   *telemetry.Histogram
+	telBatchPts *telemetry.Counter
+	tracer      *telemetry.Tracer
+	runID       string
 }
 
 // NewEvaluator builds an evaluator over the problem.
@@ -115,6 +119,13 @@ func NewEvaluator(p *Problem, opts Options) *Evaluator {
 		e.eff = append(e.eff, m)
 		e.fused = append(e.fused, true)
 	}
+	e.allBatch = true
+	for _, m := range e.eff {
+		if _, ok := m.(model.BatchPredictor); !ok {
+			e.allBatch = false
+			break
+		}
+	}
 	if opts.MemoCap > 0 {
 		e.memo = make(map[string]objective.Point)
 	}
@@ -124,6 +135,7 @@ func NewEvaluator(p *Problem, opts Options) *Evaluator {
 		e.telMiss = tel.Metrics.Counter(telemetry.MetricMemoMisses)
 		e.telBatches = tel.Metrics.Counter(telemetry.MetricEvalBatches)
 		e.telBatchH = tel.Metrics.Histogram(telemetry.MetricEvalBatchTime, "", nil)
+		e.telBatchPts = tel.Metrics.Counter(telemetry.MetricEvalBatchPts)
 		e.tracer = tel.Trace
 		e.runID = opts.RunID
 	}
@@ -224,10 +236,12 @@ func (e *Evaluator) ObjValueGrad(j int, x, grad []float64) (float64, []float64) 
 	return v, g
 }
 
-// EvalBatch evaluates the effective objective vectors of every point on a
-// bounded worker pool, returning results in input order. Results are
-// bit-identical to sequential evaluation regardless of Workers (each point's
-// value depends only on the point), so parallelism changes wall-clock only.
+// EvalBatch evaluates the effective objective vectors of every point,
+// returning results in input order. When every objective has a native batched
+// pass (the DNN models), the points are evaluated through one matrix pass per
+// objective (memo hits excluded first); otherwise the points fan out over a
+// bounded worker pool. Both paths produce values bit-identical to sequential
+// per-point evaluation, so the choice changes wall-clock only.
 func (e *Evaluator) EvalBatch(xs [][]float64) []objective.Point {
 	out := make([]objective.Point, len(xs))
 	if len(xs) == 0 {
@@ -246,6 +260,9 @@ func (e *Evaluator) EvalBatch(xs [][]float64) []objective.Point {
 				})
 			}
 		}()
+	}
+	if e.allBatch {
+		return e.evalBatchMatrix(xs)
 	}
 	workers := e.opts.Workers
 	if workers > len(xs) {

@@ -15,19 +15,25 @@
 // (its gradient is omitted — a documented approximation that keeps descent
 // cheap and deterministic for MC-dropout models).
 //
-// Hot path: all model access goes through a problem.Evaluator — every Adam
-// iteration evaluates each objective's value and input gradient through one
-// fused Evaluator.ObjValueGrad call, candidate evaluations on the rounded
-// configuration lattice hit the evaluator's memo cache, the multi-starts of
-// Solve run in parallel on a worker pool shared with SolveBatch (bounded by
-// Config.Workers, so PF-AP's l^k grid × multi-start product saturates but
-// never oversubscribes the machine), and upfront start-point draws plus an
-// ordered reduction keep the result bit-identical to a sequential run
-// regardless of scheduling. Models must be safe for concurrent
+// Hot path: all model access goes through a problem.Evaluator. One Solve
+// advances ALL multi-starts together — each Adam iteration packs the start
+// iterates into a Starts×D matrix and evaluates every objective with one
+// batched forward pass (one blocked GEMM per layer, see internal/linalg),
+// deferring each objective's backward pass behind a model.BatchGrad
+// continuation that is skipped entirely when the objective's loss coefficient
+// is zero on every row (constraints strictly inside their box contribute no
+// gradient). The batched kernels are bit-identical to the scalar fused path,
+// so results match the former per-start implementation exactly. Candidate
+// evaluations on the rounded configuration lattice hit the evaluator's memo
+// cache; SolveBatch fans its probes out on a Workers-bounded pool; and a
+// cross-expand subproblem cache replays previously-solved (co, seed) boxes
+// bit-identically (see Config.CacheCap). Models must be safe for concurrent
 // Predict/ValueGrad calls.
 package mogd
 
 import (
+	"container/list"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
@@ -36,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/linalg"
 	"repro/internal/model"
 	"repro/internal/objective"
 	"repro/internal/problem"
@@ -62,11 +69,21 @@ type Config struct {
 	Tol     float64 // feasibility tolerance on the normalized scale (default 1e-4)
 	Workers int     // max concurrent starts/probes across Solve+SolveBatch (default GOMAXPROCS)
 	Seed    int64
+	// CacheCap bounds the cross-expand subproblem cache in entries: solved
+	// (co, seed) subproblems are remembered LRU-style and replayed on exact
+	// re-solves — the PF expand loop and service-level re-optimizations keep
+	// hitting the same ε-constraint boxes. Zero means the default (512);
+	// negative disables the cache. Replay is bit-identical to a fresh solve
+	// (solves are deterministic functions of co and seed), so caching on or
+	// off never changes results — only wall-clock. Callers that retrain the
+	// underlying models must call ResetCache.
+	CacheCap int
 	// Telemetry, when non-nil, feeds the solver's counters (iterations,
-	// boundary clamps, solves, infeasible solves) and emits one trace event
-	// per Solve (per-start events at LevelVerbose), tagged with RunID. The
-	// Adam inner loop pays no allocations and no atomics for it — per-start
-	// tallies are accumulated locally and flushed once per start.
+	// boundary clamps, solves, infeasible solves, subproblem-cache traffic)
+	// and emits one trace event per Solve (per-start events at
+	// LevelVerbose), tagged with RunID. The Adam inner loop pays no
+	// allocations and no atomics for it — per-start tallies are accumulated
+	// locally and flushed once per start.
 	Telemetry *telemetry.Telemetry
 	RunID     string
 }
@@ -125,21 +142,26 @@ type Solver struct {
 	dim int
 	k   int
 	// sem is the shared token pool bounding extra worker goroutines across
-	// intra-Solve multi-starts and SolveBatch probes. Capacity is Workers-1:
-	// the calling goroutine always works too, so total parallelism from one
-	// caller never exceeds Workers.
+	// SolveBatch probes. Capacity is Workers-1: the calling goroutine always
+	// works too, so total parallelism from one caller never exceeds Workers.
 	sem chan struct{}
-	// scratch recycles per-start buffers across Solve calls.
+	// scratch recycles per-Solve batched buffers (the multi-start matrices)
+	// across Solve calls.
 	scratch sync.Pool
+	// cache is the cross-expand subproblem cache (nil when disabled).
+	cache *subCache
 
 	// Telemetry instruments (nil when Config.Telemetry is nil), resolved
 	// once at construction.
-	telIters  *telemetry.Counter
-	telClamps *telemetry.Counter
-	telSolves *telemetry.Counter
-	telInfeas *telemetry.Counter
-	tracer    *telemetry.Tracer
-	runID     string
+	telIters     *telemetry.Counter
+	telClamps    *telemetry.Counter
+	telSolves    *telemetry.Counter
+	telInfeas    *telemetry.Counter
+	telCacheHit  *telemetry.Counter
+	telCacheMiss *telemetry.Counter
+	telCacheRej  *telemetry.Counter
+	tracer       *telemetry.Tracer
+	runID        string
 }
 
 // New validates the problem and configuration and builds a solver with its
@@ -175,15 +197,25 @@ func NewOnEvaluator(ev *problem.Evaluator, cfg Config) (*Solver, error) {
 		k:   ev.NumObjectives(),
 		sem: make(chan struct{}, cfg.Workers-1),
 	}
+	if cfg.CacheCap >= 0 {
+		cap := cfg.CacheCap
+		if cap == 0 {
+			cap = 512
+		}
+		s.cache = newSubCache(cap)
+	}
 	if tel := cfg.Telemetry; tel != nil {
 		s.telIters = tel.Metrics.Counter(telemetry.MetricMOGDIterations)
 		s.telClamps = tel.Metrics.Counter(telemetry.MetricMOGDClamps)
 		s.telSolves = tel.Metrics.Counter(telemetry.MetricMOGDSolves)
 		s.telInfeas = tel.Metrics.Counter(telemetry.MetricMOGDInfeasible)
+		s.telCacheHit = tel.Metrics.Counter(telemetry.MetricMOGDCacheHit)
+		s.telCacheMiss = tel.Metrics.Counter(telemetry.MetricMOGDCacheMiss)
+		s.telCacheRej = tel.Metrics.Counter(telemetry.MetricMOGDCacheRej)
 		s.tracer = tel.Trace
 		s.runID = cfg.RunID
 	}
-	s.scratch.New = func() interface{} { return s.newStartScratch() }
+	s.scratch.New = func() interface{} { return s.newSolveScratch() }
 	return s, nil
 }
 
@@ -199,25 +231,42 @@ func (s *Solver) Evaluator() *problem.Evaluator { return s.ev }
 // Evals reports the model passes performed through the solver's evaluator.
 func (s *Solver) Evals() uint64 { return s.ev.Evals() }
 
-// startScratch holds one start's reusable buffers: the iterate, Adam state,
-// the accumulated loss gradient, a per-objective gradient buffer, and the
-// objective-value points (one for raw iterates, one for lattice-rounded
-// candidates).
-type startScratch struct {
-	x, mAdam, vAdam []float64
-	grad, gbuf      []float64
-	f, fr           objective.Point
+// solveScratch holds one Solve's batched buffers: the multi-start iterate
+// matrix, Adam state, loss gradients, the per-objective gradient batch, and
+// the objective-value rows (raw iterates and lattice-rounded candidates).
+// All matrices have one row per start.
+type solveScratch struct {
+	X     *linalg.Matrix // Starts×dim iterates
+	G     *linalg.Matrix // Starts×dim accumulated loss gradients
+	Gbuf  *linalg.Matrix // Starts×dim one objective's gradient batch
+	mAdam *linalg.Matrix // Starts×dim Adam first moments
+	vAdam *linalg.Matrix // Starts×dim Adam second moments
+	Y     *linalg.Matrix // Starts×k effective objective values at X
+	Yr    *linalg.Matrix // Starts×k values at the rounded candidates
+	bestX *linalg.Matrix // Starts×dim incumbent configurations
+	bestF *linalg.Matrix // Starts×k incumbent objective values
+	yb    []float64      // per-objective value column
+	coeff []float64      // per-row dL/dFj of the current objective
+	free  []bool         // objectives with no loss influence (skip forward)
+	res   []startResult
 }
 
-func (s *Solver) newStartScratch() *startScratch {
-	return &startScratch{
-		x:     make([]float64, s.dim),
-		mAdam: make([]float64, s.dim),
-		vAdam: make([]float64, s.dim),
-		grad:  make([]float64, s.dim),
-		gbuf:  make([]float64, s.dim),
-		f:     make(objective.Point, s.k),
-		fr:    make(objective.Point, s.k),
+func (s *Solver) newSolveScratch() *solveScratch {
+	n := s.cfg.Starts
+	return &solveScratch{
+		X:     linalg.NewMatrix(n, s.dim),
+		G:     linalg.NewMatrix(n, s.dim),
+		Gbuf:  linalg.NewMatrix(n, s.dim),
+		mAdam: linalg.NewMatrix(n, s.dim),
+		vAdam: linalg.NewMatrix(n, s.dim),
+		Y:     linalg.NewMatrix(n, s.k),
+		Yr:    linalg.NewMatrix(n, s.k),
+		bestX: linalg.NewMatrix(n, s.dim),
+		bestF: linalg.NewMatrix(n, s.k),
+		yb:    make([]float64, n),
+		coeff: make([]float64, n),
+		free:  make([]bool, s.k),
+		res:   make([]startResult, n),
 	}
 }
 
@@ -240,57 +289,81 @@ func (s *Solver) feasible(co solver.CO, f objective.Point) bool {
 	return true
 }
 
-// lossAndGrad evaluates Eq. 3 and its (sub)gradient at sc.x, writing the
-// gradient into sc.grad and the effective objective values into sc.f. Each
-// objective costs one fused ObjValueGrad evaluation — half the model passes
-// of a separate Predict + Gradient — except the conservative (α·std) case,
-// where the evaluator adds the variance pass its loss value needs.
-func (s *Solver) lossAndGrad(co solver.CO, sc *startScratch) (loss float64) {
-	for d := range sc.grad {
-		sc.grad[d] = 0
+// batchLossGrad evaluates Eq. 3's (sub)gradient at every start iterate in
+// one pass, writing the accumulated loss gradients into sc.G and the
+// effective objective values into sc.Y. Per objective it runs one batched
+// forward pass (one GEMM per layer for DNN models) and requests the backward
+// pass only when some row's loss coefficient dL/dFj is nonzero — constraints
+// strictly inside their box, and objectives with infinite bounds other than
+// the target, contribute no gradient and skip backprop entirely. The loss
+// value itself is never materialized: descent uses only the gradient, and
+// incumbent selection uses the objective values (exactly as the former
+// per-start code, which discarded the returned loss).
+//
+// Per row, coefficients and the ascending-j accumulation order match the
+// scalar fused path bit-for-bit, so trajectories are identical to running
+// each start alone.
+func (s *Solver) batchLossGrad(co solver.CO, sc *solveScratch) {
+	for i := range sc.G.Data {
+		sc.G.Data[i] = 0
 	}
+	n := sc.X.Rows
 	for j := 0; j < s.k; j++ {
-		fj, gj := s.ev.ObjValueGrad(j, sc.x, sc.gbuf)
-		sc.f[j] = fj
+		if sc.free[j] {
+			// No bound and not the target: the value influences neither the
+			// loss coefficient nor feasibility, so the whole model pass is
+			// skipped. Incumbent F slots are patched once after the descent.
+			continue
+		}
+		h := s.ev.ObjForwardBatch(j, sc.X, sc.yb)
 		lo, hi := co.Lo[j], co.Hi[j]
 		bounded := !math.IsInf(lo, -1) && !math.IsInf(hi, 1) && hi > lo
-		var coeff float64 // dL/dFj (raw scale)
-		switch {
-		case bounded:
-			span := hi - lo
-			fn := (fj - lo) / span
+		need := false
+		for r := 0; r < n; r++ {
+			fj := sc.yb[r]
+			sc.Y.Row(r)[j] = fj
+			var coeff float64 // dL/dFj (raw scale)
 			switch {
-			case fn < 0 || fn > 1:
-				loss += (fn-0.5)*(fn-0.5) + s.cfg.Penalty
-				coeff = 2 * (fn - 0.5) / span
+			case bounded:
+				span := hi - lo
+				fn := (fj - lo) / span
+				switch {
+				case fn < 0 || fn > 1:
+					coeff = 2 * (fn - 0.5) / span
+				case j == co.Target:
+					coeff = 2 * fn / span
+				}
 			case j == co.Target:
-				loss += fn * fn
-				coeff = 2 * fn / span
+				// Unconstrained target: plain minimization; Adam adapts scale.
+				coeff = 1
+			default:
+				// One-sided constraints: quadratic hinge outside the bound.
+				if !math.IsInf(lo, -1) && fj < lo {
+					coeff = -2 * (lo - fj)
+				}
+				if !math.IsInf(hi, 1) && fj > hi {
+					coeff = 2 * (fj - hi)
+				}
 			}
-		case j == co.Target:
-			// Unconstrained target: plain minimization; Adam adapts scale.
-			loss += fj
-			coeff = 1
-		default:
-			// One-sided constraints: quadratic hinge outside the bound.
-			if !math.IsInf(lo, -1) && fj < lo {
-				d := lo - fj
-				loss += d*d + s.cfg.Penalty
-				coeff = -2 * d
-			}
-			if !math.IsInf(hi, 1) && fj > hi {
-				d := fj - hi
-				loss += d*d + s.cfg.Penalty
-				coeff = 2 * d
+			sc.coeff[r] = coeff
+			if coeff != 0 {
+				need = true
 			}
 		}
-		if coeff != 0 {
-			for d := range sc.grad {
-				sc.grad[d] += coeff * gj[d]
+		if need {
+			h.Grad(sc.Gbuf)
+			for r := 0; r < n; r++ {
+				if cf := sc.coeff[r]; cf != 0 {
+					g := sc.G.Row(r)
+					gb := sc.Gbuf.Row(r)
+					for d := range g {
+						g[d] += cf * gb[d]
+					}
+				}
 			}
 		}
+		h.Done()
 	}
-	return loss
 }
 
 // startResult is one start's best feasible candidate, plus its telemetry
@@ -303,99 +376,145 @@ type startResult struct {
 	clamps int
 }
 
-// startPoints draws the multi-start initial iterates from a single RNG in
-// start order (start 0 is the deterministic center — the default
-// configuration x0 of §IV-B). Drawing upfront decouples the random draws
-// from the concurrent execution of the starts: the trajectories are fully
-// determined here, so scheduling cannot change them.
-func (s *Solver) startPoints(seed int64) [][]float64 {
+// fillStarts draws the multi-start initial iterates into X's rows from a
+// single RNG in start order (start 0 is the deterministic center — the
+// default configuration x0 of §IV-B). The draw sequence is identical to the
+// former per-start implementation, so trajectories carry over bit-for-bit.
+func (s *Solver) fillStarts(seed int64, X *linalg.Matrix) {
 	rng := rand.New(rand.NewSource(s.cfg.Seed ^ seed))
-	starts := make([][]float64, s.cfg.Starts)
-	for st := range starts {
-		x0 := make([]float64, s.dim)
+	for st := 0; st < X.Rows; st++ {
+		row := X.Row(st)
 		if st == 0 {
-			for d := range x0 {
-				x0[d] = 0.5 // the default configuration x0
+			for d := range row {
+				row[d] = 0.5 // the default configuration x0
 			}
-		} else {
-			for d := range x0 {
-				x0[d] = rng.Float64()
-			}
+			continue
 		}
-		starts[st] = x0
-	}
-	return starts
-}
-
-// runStart executes one Adam trajectory from the precomputed start point.
-func (s *Solver) runStart(co solver.CO, x0 []float64, sc *startScratch) startResult {
-	x := sc.x
-	copy(x, x0)
-	for d := 0; d < s.dim; d++ {
-		sc.mAdam[d] = 0
-		sc.vAdam[d] = 0
-	}
-	res := startResult{val: math.Inf(1)}
-	const b1, b2, eps = 0.9, 0.999, 1e-8
-	for it := 1; it <= s.cfg.Iters; it++ {
-		s.lossAndGrad(co, sc)
-		s.consider(co, sc, &res)
-		// Bias-correction denominators hoisted out of the per-dimension loop;
-		// the step expression itself is kept in the textbook shape so results
-		// stay bit-identical to the unhoisted form.
-		t := float64(it)
-		c1 := 1 - math.Pow(b1, t)
-		c2 := 1 - math.Pow(b2, t)
-		for d := range x {
-			g := sc.grad[d]
-			sc.mAdam[d] = b1*sc.mAdam[d] + (1-b1)*g
-			sc.vAdam[d] = b2*sc.vAdam[d] + (1-b2)*g*g
-			step := s.cfg.LR * (sc.mAdam[d] / c1) / (math.Sqrt(sc.vAdam[d]/c2) + eps)
-			// Clamp to the box: GD may push a variable to the boundary but
-			// never across it (paper §IV-B.1). Inlined from clamp01 so the
-			// clamp tally comes for free; results stay bit-identical.
-			nv := x[d] - step
-			if nv < 0 {
-				nv = 0
-				res.clamps++
-			} else if nv > 1 {
-				nv = 1
-				res.clamps++
-			}
-			x[d] = nv
+		for d := range row {
+			row[d] = rng.Float64()
 		}
 	}
-	res.iters = s.cfg.Iters
-	s.ev.EvalInto(x, sc.f)
-	s.consider(co, sc, &res)
-	return res
 }
 
-// consider records sc.x as the start's incumbent if it is feasible (after
+// considerRow records x as the start's incumbent if it is feasible (after
 // rounding to the configuration lattice) and improves the target objective.
-func (s *Solver) consider(co solver.CO, sc *startScratch, res *startResult) {
-	xx := sc.x
-	ff := sc.f
+// f holds the effective objective values at x; fr is the scratch row for
+// values at the rounded candidate. res.sol's slices are scratch-owned
+// incumbent buffers (copied into, never reallocated), so the Adam inner loop
+// stays allocation-free; Solve clones the winner before releasing the
+// scratch.
+func (s *Solver) considerRow(co solver.CO, x []float64, f, fr objective.Point, res *startResult) {
+	xx := x
+	ff := f
 	if s.spc != nil {
-		rx, err := s.spc.Round(sc.x)
+		rx, err := s.spc.Round(x)
 		if err != nil {
 			return
 		}
 		xx = rx
 		// Lattice-rounded candidates revisit the same snapped points across
 		// iterations and starts — the evaluator's memo makes these hits free.
-		s.ev.EvalInto(rx, sc.fr)
-		ff = sc.fr
+		s.ev.EvalInto(rx, fr)
+		ff = fr
 	}
 	if !s.feasible(co, ff) {
 		return
 	}
 	if ff[co.Target] < res.val {
 		res.val = ff[co.Target]
-		xc := make([]float64, len(xx))
-		copy(xc, xx)
-		res.sol = objective.Solution{F: ff.Clone(), X: xc}
+		copy(res.sol.X, xx)
+		copy(res.sol.F, ff)
 		res.ok = true
+	}
+}
+
+// solveAllStarts runs every Adam trajectory in lockstep: one batched
+// loss-gradient evaluation per iteration advances all starts, then each row
+// takes its own Adam step with inline [0,1] clamping. Per-row arithmetic and
+// its order match the former per-start loop exactly, so the incumbents in
+// sc.res are bit-identical to sequential per-start descent.
+func (s *Solver) solveAllStarts(co solver.CO, seed int64, sc *solveScratch) {
+	s.fillStarts(seed, sc.X)
+	for i := range sc.mAdam.Data {
+		sc.mAdam.Data[i] = 0
+		sc.vAdam.Data[i] = 0
+	}
+	for r := range sc.res {
+		sc.res[r] = startResult{val: math.Inf(1), sol: objective.Solution{
+			X: sc.bestX.Row(r),
+			F: objective.Point(sc.bestF.Row(r)),
+		}}
+	}
+	// An objective with no bound on either side that is not the target can
+	// never produce a loss coefficient or an infeasibility — its value exists
+	// only to be reported in the solution. Skip its model pass during descent
+	// (the Minimize base case halves its forward work this way) and patch the
+	// incumbents afterwards.
+	anyFree := false
+	for j := 0; j < s.k; j++ {
+		sc.free[j] = j != co.Target && math.IsInf(co.Lo[j], -1) && math.IsInf(co.Hi[j], 1)
+		anyFree = anyFree || sc.free[j]
+	}
+	n := sc.X.Rows
+	const b1, b2, eps = 0.9, 0.999, 1e-8
+	for it := 1; it <= s.cfg.Iters; it++ {
+		s.batchLossGrad(co, sc)
+		// Bias-correction denominators hoisted out of the per-dimension loop;
+		// the step expression itself is kept in the textbook shape so results
+		// stay bit-identical to the unhoisted form.
+		t := float64(it)
+		c1 := 1 - math.Pow(b1, t)
+		c2 := 1 - math.Pow(b2, t)
+		for r := 0; r < n; r++ {
+			res := &sc.res[r]
+			x := sc.X.Row(r)
+			s.considerRow(co, x, sc.Y.Row(r), sc.Yr.Row(r), res)
+			grad := sc.G.Row(r)
+			m := sc.mAdam.Row(r)
+			v := sc.vAdam.Row(r)
+			for d := range x {
+				g := grad[d]
+				m[d] = b1*m[d] + (1-b1)*g
+				v[d] = b2*v[d] + (1-b2)*g*g
+				step := s.cfg.LR * (m[d] / c1) / (math.Sqrt(v[d]/c2) + eps)
+				// Clamp to the box: GD may push a variable to the boundary but
+				// never across it (paper §IV-B.1). Inlined so the clamp tally
+				// comes for free; results stay bit-identical.
+				nv := x[d] - step
+				if nv < 0 {
+					nv = 0
+					res.clamps++
+				} else if nv > 1 {
+					nv = 1
+					res.clamps++
+				}
+				x[d] = nv
+			}
+		}
+	}
+	for r := 0; r < n; r++ {
+		res := &sc.res[r]
+		res.iters = s.cfg.Iters
+		f := objective.Point(sc.Y.Row(r))
+		s.ev.EvalInto(sc.X.Row(r), f)
+		s.considerRow(co, sc.X.Row(r), f, sc.Yr.Row(r), res)
+	}
+	if anyFree && s.spc == nil {
+		// Continuous incumbents recorded mid-descent carry stale values in the
+		// skipped objectives' slots; fill them from the models now. (With a
+		// Space, incumbents were evaluated in full via the memoized EvalInto on
+		// the rounded point, so there is nothing to patch.)
+		for r := range sc.res {
+			res := &sc.res[r]
+			if !res.ok {
+				continue
+			}
+			for j := 0; j < s.k; j++ {
+				if sc.free[j] {
+					res.sol.F[j] = s.ev.ObjValue(j, res.sol.X)
+				}
+			}
+		}
 	}
 }
 
@@ -403,45 +522,48 @@ func (s *Solver) consider(co solver.CO, sc *startScratch, res *startResult) {
 // the (rounded, when a Space is configured) configuration and its effective
 // objective values; ok is false when no start found a feasible point.
 //
-// Starts run concurrently on the Workers-bounded pool shared with
-// SolveBatch, but the result is deterministic: the start points are drawn
-// upfront from one seeded RNG and the per-start incumbents are reduced in
-// start order, so Workers changes wall-clock only, never the answer.
+// All starts advance together through batched model passes on the calling
+// goroutine (parallelism lives at the SolveBatch probe level); the result is
+// deterministic: the start points come from one seeded RNG, the per-row
+// arithmetic matches sequential per-start descent bit-for-bit, and the
+// incumbents are reduced in start order. A subproblem-cache hit (same co and
+// seed solved before) replays the remembered solution without any model
+// passes — bit-identical to re-solving, see Config.CacheCap.
 func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 	s.checkBounds(co)
+	if sol, ok, hit := s.cacheGet(co, seed); hit {
+		return sol, ok
+	}
 	var t0 time.Time
 	if s.telSolves != nil {
 		t0 = time.Now()
 	}
-	starts := s.startPoints(seed)
-	results := make([]startResult, len(starts))
-	var next int64 = -1
-	work := func() {
-		sc := s.scratch.Get().(*startScratch)
-		for {
-			st := int(atomic.AddInt64(&next, 1))
-			if st >= len(results) {
-				break
-			}
-			results[st] = s.runStart(co, starts[st], sc)
-			if s.tracer.Enabled(telemetry.LevelVerbose) {
-				r := &results[st]
-				s.tracer.Emit(telemetry.LevelVerbose, telemetry.Event{
-					Run: s.runID, Scope: "mogd", Name: "start",
-					Attrs: map[string]float64{
-						"start": float64(st), "iters": float64(r.iters),
-						"clamps": float64(r.clamps), "feasible": b2f(r.ok), "best": r.val,
-					},
-				})
-			}
+	sc := s.scratch.Get().(*solveScratch)
+	s.solveAllStarts(co, seed, sc)
+	if s.tracer.Enabled(telemetry.LevelVerbose) {
+		for st := range sc.res {
+			r := &sc.res[st]
+			s.tracer.Emit(telemetry.LevelVerbose, telemetry.Event{
+				Run: s.runID, Scope: "mogd", Name: "start",
+				Attrs: map[string]float64{
+					"start": float64(st), "iters": float64(r.iters),
+					"clamps": float64(r.clamps), "feasible": b2f(r.ok), "best": r.val,
+				},
+			})
 		}
-		s.scratch.Put(sc)
 	}
-	s.fanOut(len(results)-1, work)
-	sol, found := s.reduce(results)
+	best, found := s.reduce(sc.res)
+	// The per-start incumbents alias pooled scratch buffers; detach the winner
+	// before the scratch can be reused.
+	sol := cloneSolution(best)
+	if !found {
+		sol = objective.Solution{}
+	}
 	if s.telSolves != nil {
-		s.observeSolve(co, results, sol, found, time.Since(t0))
+		s.observeSolve(co, sc.res, sol, found, time.Since(t0))
 	}
+	s.scratch.Put(sc)
+	s.cachePut(co, seed, sol, found)
 	return sol, found
 }
 
@@ -586,12 +708,167 @@ func (s *Solver) Minimize(target int, seed int64) (objective.Solution, bool) {
 	return s.Solve(solver.CO{Target: target, Lo: lo, Hi: hi}, seed)
 }
 
-func clamp01(v float64) float64 {
-	if v < 0 {
-		return 0
+// subCache is the cross-expand subproblem cache: an LRU map from the exact
+// (target, seed, constraint box) key to the solved incumbent. The PF expand
+// loop and service-level re-optimizations keep revisiting the same
+// ε-constraint rectangles; replaying the remembered solution is bit-identical
+// to re-solving because solves are deterministic functions of (co, seed).
+type subCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+	// Stats mirror the telemetry counters for callers without a registry.
+	hits, misses, rejects uint64
+}
+
+type cacheEntry struct {
+	key string
+	sol objective.Solution
+	ok  bool
+}
+
+func newSubCache(cap int) *subCache {
+	return &subCache{
+		cap:     cap,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
 	}
-	if v > 1 {
-		return 1
+}
+
+// cacheKey encodes (target, seed, Lo, Hi) exactly — raw float64 bits — so
+// distinct constraint boxes can never collide.
+func cacheKey(co solver.CO, seed int64) string {
+	b := make([]byte, 16+16*len(co.Lo))
+	binary.LittleEndian.PutUint64(b, uint64(co.Target))
+	binary.LittleEndian.PutUint64(b[8:], uint64(seed))
+	off := 16
+	for _, v := range co.Lo {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+		off += 8
 	}
-	return v
+	for _, v := range co.Hi {
+		binary.LittleEndian.PutUint64(b[off:], math.Float64bits(v))
+		off += 8
+	}
+	return string(b)
+}
+
+func cloneSolution(sol objective.Solution) objective.Solution {
+	var out objective.Solution
+	if sol.F != nil {
+		out.F = sol.F.Clone()
+	}
+	if sol.X != nil {
+		out.X = append([]float64(nil), sol.X...)
+	}
+	return out
+}
+
+// cacheGet looks up the solved subproblem. The poison guard lives here: a
+// cached "feasible" incumbent whose values violate the requested constraint
+// box (possible only through external Prime calls or model retraining without
+// ResetCache) is rejected and evicted rather than returned, so a stale or
+// hostile entry can never leak an out-of-box solution into a frontier.
+func (s *Solver) cacheGet(co solver.CO, seed int64) (objective.Solution, bool, bool) {
+	c := s.cache
+	if c == nil {
+		return objective.Solution{}, false, false
+	}
+	key := cacheKey(co, seed)
+	c.mu.Lock()
+	el, found := c.entries[key]
+	if !found {
+		c.misses++
+		c.mu.Unlock()
+		s.telCacheMiss.Add(1)
+		return objective.Solution{}, false, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.ok && !s.feasible(co, e.sol.F) {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.rejects++
+		c.misses++
+		c.mu.Unlock()
+		s.telCacheRej.Add(1)
+		s.telCacheMiss.Add(1)
+		return objective.Solution{}, false, false
+	}
+	c.lru.MoveToFront(el)
+	sol := cloneSolution(e.sol)
+	ok := e.ok
+	c.hits++
+	c.mu.Unlock()
+	s.telCacheHit.Add(1)
+	return sol, ok, true
+}
+
+func (s *Solver) cachePut(co solver.CO, seed int64, sol objective.Solution, ok bool) {
+	if s.cache == nil {
+		return
+	}
+	s.cache.put(cacheKey(co, seed), cloneSolution(sol), ok)
+}
+
+func (c *subCache) put(key string, sol objective.Solution, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, exists := c.entries[key]; exists {
+		e := el.Value.(*cacheEntry)
+		e.sol, e.ok = sol, ok
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		back := c.lru.Back()
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.lru.Remove(back)
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, sol: sol, ok: ok})
+}
+
+// Prime seeds the subproblem cache with an externally-known incumbent — e.g.
+// a neighbouring ε-constraint rectangle's solution that the caller knows also
+// solves this box. The solution is cloned; a later Solve with the same (co,
+// seed) replays it instead of descending. Feasibility is NOT validated here:
+// the poison guard in cacheGet re-checks the incumbent against the box at
+// lookup time, so a bad priming is rejected then, not silently clamped in.
+// No-op when the cache is disabled.
+func (s *Solver) Prime(co solver.CO, seed int64, sol objective.Solution, ok bool) {
+	s.checkBounds(co)
+	if s.cache == nil {
+		return
+	}
+	if ok && (len(sol.F) != s.k || len(sol.X) != s.dim) {
+		panic(fmt.Sprintf("mogd: Prime solution has %d objectives and %d dims, want %d and %d",
+			len(sol.F), len(sol.X), s.k, s.dim))
+	}
+	s.cache.put(cacheKey(co, seed), cloneSolution(sol), ok)
+}
+
+// ResetCache drops every cached subproblem. Callers that retrain or swap the
+// underlying models must call this — cached incumbents encode the old models'
+// values.
+func (s *Solver) ResetCache() {
+	c := s.cache
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+	c.mu.Unlock()
+}
+
+// CacheStats returns the subproblem cache's hit, miss, and poison-reject
+// counts (all zero when the cache is disabled).
+func (s *Solver) CacheStats() (hits, misses, rejects uint64) {
+	c := s.cache
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.rejects
 }

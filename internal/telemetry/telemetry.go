@@ -37,12 +37,17 @@ const (
 	MetricMemoMisses     = "udao_memo_misses_total"
 	MetricEvalBatches    = "udao_eval_batches_total"
 	MetricEvalBatchTime  = "udao_eval_batch_seconds"
+	MetricEvalBatchPts   = "udao_eval_batch_points_total"
 	MetricMOGDIterations = "udao_mogd_iterations_total"
 	MetricMOGDClamps     = "udao_mogd_clamps_total"
 	MetricMOGDSolves     = "udao_mogd_solves_total"
 	MetricMOGDInfeasible = "udao_mogd_infeasible_total"
+	MetricMOGDCacheHit   = "udao_mogd_subcache_hits_total"
+	MetricMOGDCacheMiss  = "udao_mogd_subcache_misses_total"
+	MetricMOGDCacheRej   = "udao_mogd_subcache_rejects_total"
 	MetricPFProbes       = "udao_pf_probes_total"
 	MetricPFExpansions   = "udao_pf_expansions_total"
+	MetricPFArenaReuse   = "udao_pf_arena_reuses_total"
 	MetricPFUncertain    = "udao_pf_uncertain_frac"
 	MetricModelTrainings = "udao_model_trainings_total"
 	MetricModelTrainTime = "udao_model_train_seconds"
@@ -92,12 +97,17 @@ func (t *Telemetry) registerStandard() {
 	r.Counter(MetricMemoMisses, "evaluator memoization cache misses")
 	r.Counter(MetricEvalBatches, "evaluator batch evaluations")
 	r.Histogram(MetricEvalBatchTime, "evaluator batch latency in seconds", nil)
+	r.Counter(MetricEvalBatchPts, "points evaluated through the batched matrix path")
 	r.Counter(MetricMOGDIterations, "MOGD Adam iterations executed")
 	r.Counter(MetricMOGDClamps, "MOGD boundary clamps applied")
 	r.Counter(MetricMOGDSolves, "MOGD constrained solves completed")
 	r.Counter(MetricMOGDInfeasible, "MOGD solves that found no feasible point")
+	r.Counter(MetricMOGDCacheHit, "MOGD subproblem-cache hits (solves replayed from a cached incumbent)")
+	r.Counter(MetricMOGDCacheMiss, "MOGD subproblem-cache misses")
+	r.Counter(MetricMOGDCacheRej, "MOGD subproblem-cache entries rejected by the constraint-box guard")
 	r.Counter(MetricPFProbes, "Progressive Frontier probes issued")
 	r.Counter(MetricPFExpansions, "Progressive Frontier Expand calls completed")
+	r.Counter(MetricPFArenaReuse, "PF expand-loop scratch-arena buffer reuses")
 	r.Gauge(MetricPFUncertain, "uncertain fraction of the last reported PF run")
 	r.Counter(MetricModelTrainings, "model server (re)trainings and fine-tunings")
 	r.Histogram(MetricModelTrainTime, "model server training latency in seconds", nil)

@@ -10,7 +10,9 @@
 # regressions show up as a diff. Delete the file to start a fresh history.
 #
 # Covered benchmarks:
-#   internal/model/dnn   Predict / Gradient / ValueGrad / PredictVar
+#   internal/linalg      GEMM / GEMMScalarRef  (blocked kernel vs reference)
+#   internal/model/dnn   Predict / Gradient / ValueGrad / PredictVar /
+#                        ValueGradBatch / ValueGradScalarLoop
 #   internal/problem     EvaluatorMemoHit[Telemetry] / EvaluatorMemoMiss /
 #                        EvaluatorValueGrad[Telemetry] / EvalBatch[Serial]
 #                        (the *Telemetry variants run with the full metrics
@@ -29,6 +31,7 @@ LABEL="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
+go test -run '^$' -bench 'GEMM' -benchmem -benchtime 1s ./internal/linalg/ >>"$RAW"
 go test -run '^$' -bench 'Predict|Gradient|ValueGrad' -benchmem -benchtime 1s ./internal/model/dnn/ >>"$RAW"
 go test -run '^$' -bench 'Evaluator|EvalBatch' -benchmem -benchtime 1s ./internal/problem/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
