@@ -275,6 +275,10 @@ func (e Exp) PredictVar(x []float64) (float64, float64) {
 // future-work direction: "extend UDAO to support a pipeline of analytic
 // tasks"): the pipeline's latency under a shared configuration is the sum of
 // its stages' latencies, Σ wᵢ·Ψᵢ(x). Weights default to 1 when nil.
+//
+// Every component reads the same full configuration; for stage-wise variable
+// spaces — each stage with its own knob block plus shared knobs — use Routed,
+// which generalizes Sum by feeding each stage model its own sub-vector.
 type Sum struct {
 	Models  []Model
 	Weights []float64

@@ -1,0 +1,83 @@
+package problem
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/model/dnn"
+	"repro/internal/space"
+)
+
+// benchComposite builds a two-stage composite evaluator with DNN stage models
+// — the pipeline counterpart of benchEvaluator, sized like the Spark batch
+// space split into 4 shared cluster knobs plus 8 per-stage knobs.
+func benchComposite(b *testing.B, opts Options) *Evaluator {
+	b.Helper()
+	shared := make([]space.Var, 4)
+	for i := range shared {
+		shared[i] = space.Var{Name: "cluster" + string(rune('a'+i)), Kind: space.Continuous, Min: 0, Max: 1}
+	}
+	stageVars := func() []space.Var {
+		vars := append([]space.Var(nil), shared...)
+		for i := 0; i < 8; i++ {
+			vars = append(vars, space.Var{Name: "knob" + string(rune('a'+i)), Kind: space.Continuous, Min: 0, Max: 1})
+		}
+		return vars
+	}
+	c, err := space.NewComposite(shared, []space.Stage{
+		{Name: "etl", Vars: stageVars()},
+		{Name: "ml", Vars: stageVars()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lat := StageObjective{Models: []model.Model{
+		dnn.New(12, dnn.Config{Hidden: []int{64, 64}, Seed: 1}),
+		dnn.New(12, dnn.Config{Hidden: []int{64, 64}, Seed: 2}),
+	}}
+	cost := StageObjective{Models: []model.Model{
+		dnn.New(12, dnn.Config{Hidden: []int{64, 64}, Seed: 3}),
+		nil,
+	}}
+	p, err := NewComposite(c, []StageObjective{lat, cost})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return NewEvaluator(p, opts)
+}
+
+// BenchmarkCompositeEval measures one cold-point evaluation of a two-stage
+// composite problem — per objective, one gathered sub-vector and one DNN pass
+// per contributing stage, on the concatenated 20-dim encoding. Tracked in
+// scripts/bench.sh; scripts/bench_check.sh treats it as informational until a
+// baseline lands in BENCH_solver.json.
+func BenchmarkCompositeEval(b *testing.B) {
+	e := benchComposite(b, Options{MemoCap: -1})
+	x := make([]float64, e.Dim())
+	for d := range x {
+		x[d] = float64(d+1) / float64(e.Dim()+1)
+	}
+	f := e.Eval(x)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x[0] = float64(i%1000000) * 1e-9
+		e.EvalInto(x, f)
+	}
+}
+
+// BenchmarkCompositeValueGrad measures the fused composite hot path: per
+// stage, one fused DNN pass plus the block-wise gradient scatter.
+func BenchmarkCompositeValueGrad(b *testing.B) {
+	e := benchComposite(b, Options{})
+	x := make([]float64, e.Dim())
+	for d := range x {
+		x[d] = float64(d+1) / float64(e.Dim()+1)
+	}
+	grad := make([]float64, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.ObjValueGrad(0, x, grad)
+	}
+}

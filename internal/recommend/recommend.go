@@ -7,6 +7,11 @@
 // All strategies operate on minimization objective spaces; points are
 // normalized by the frontier's own Utopia/Nadir box before any distance or
 // slope is computed, so objectives of different magnitudes are comparable.
+//
+// UN and WUN are dimension-generic (any k ≥ 1, matching the 3–4-objective
+// scenarios of §VI and the pipeline extension of §VIII); the slope and
+// knee-point strategies are defined by Appendix B only for k = 2 and return
+// ErrNot2D otherwise.
 package recommend
 
 import (
@@ -18,6 +23,32 @@ import (
 
 // ErrEmptyFrontier is returned when no Pareto points are available.
 var ErrEmptyFrontier = errors.New("recommend: empty frontier")
+
+// ErrNot2D is returned by the slope and knee-point strategies for frontiers
+// with other than exactly 2 objectives: Appendix B defines both in terms of a
+// single gain/sacrifice slope, which has no k-dimensional analogue. UN and
+// WUN are the dimension-generic strategies.
+var ErrNot2D = errors.New("recommend: slope and knee-point strategies require exactly 2 objectives")
+
+// dims validates the frontier and returns its objective dimensionality k.
+// Every strategy calls it first, so a ragged frontier (mixed-dimension
+// points) is a clean error everywhere instead of a panic in whichever
+// strategy happens to index past a short point.
+func dims(front []objective.Solution) (int, error) {
+	if len(front) == 0 {
+		return 0, ErrEmptyFrontier
+	}
+	k := len(front[0].F)
+	if k == 0 {
+		return 0, errors.New("recommend: frontier point has no objectives")
+	}
+	for i := range front {
+		if len(front[i].F) != k {
+			return 0, errors.New("recommend: frontier mixes objective dimensionalities")
+		}
+	}
+	return k, nil
+}
 
 // frontierBox derives the Utopia/Nadir corners of the frontier itself.
 func frontierBox(front []objective.Solution) (utopia, nadir objective.Point) {
@@ -35,13 +66,14 @@ func frontierBox(front []objective.Solution) (utopia, nadir objective.Point) {
 }
 
 // UtopiaNearest returns the Pareto point closest (Euclidean, normalized) to
-// the Utopia point (§V: the UN strategy).
+// the Utopia point (§V: the UN strategy). Dimension-generic: works for any
+// number of objectives k ≥ 1.
 func UtopiaNearest(front []objective.Solution) (objective.Solution, error) {
-	k := len(front)
-	if k == 0 {
-		return objective.Solution{}, ErrEmptyFrontier
+	k, err := dims(front)
+	if err != nil {
+		return objective.Solution{}, err
 	}
-	w := make([]float64, len(front[0].F))
+	w := make([]float64, k)
 	for i := range w {
 		w[i] = 1
 	}
@@ -51,11 +83,13 @@ func UtopiaNearest(front []objective.Solution) (objective.Solution, error) {
 // WeightedUtopiaNearest returns the Pareto point minimizing the weighted
 // Euclidean distance to the Utopia point, with weights expressing the
 // application's preference among objectives (§V: the WUN strategy).
+// Dimension-generic: works for any number of objectives k ≥ 1.
 func WeightedUtopiaNearest(front []objective.Solution, weights []float64) (objective.Solution, error) {
-	if len(front) == 0 {
-		return objective.Solution{}, ErrEmptyFrontier
+	k, err := dims(front)
+	if err != nil {
+		return objective.Solution{}, err
 	}
-	if len(weights) != len(front[0].F) {
+	if len(weights) != k {
 		return objective.Solution{}, errors.New("recommend: weight dimensionality mismatch")
 	}
 	utopia, nadir := frontierBox(front)
@@ -129,10 +163,11 @@ func InternalWeights(class WorkloadClass, k int) []float64 {
 // application weights wᴱ as w = (wᴵ₁·wᴱ₁, …, wᴵₖ·wᴱₖ) before running WUN
 // (§V: "workload-aware WUN").
 func WorkloadAwareWUN(front []objective.Solution, external []float64, class WorkloadClass) (objective.Solution, error) {
-	if len(front) == 0 {
-		return objective.Solution{}, ErrEmptyFrontier
+	k, err := dims(front)
+	if err != nil {
+		return objective.Solution{}, err
 	}
-	internal := InternalWeights(class, len(front[0].F))
+	internal := InternalWeights(class, k)
 	if len(external) != len(internal) {
 		return objective.Solution{}, errors.New("recommend: weight dimensionality mismatch")
 	}
@@ -153,19 +188,40 @@ const (
 	Right
 )
 
-// references returns the two extreme frontier points of a 2D frontier:
-// r1 = argmin F1 and r2 = argmin F2 (Appendix B's reference points).
-func references(front []objective.Solution) (r1, r2 objective.Point) {
-	r1, r2 = front[0].F, front[0].F
-	for _, s := range front[1:] {
-		if s.F[0] < r1[0] || (s.F[0] == r1[0] && s.F[1] < r1[1]) {
-			r1 = s.F
-		}
-		if s.F[1] < r2[1] || (s.F[1] == r2[1] && s.F[0] < r2[0]) {
-			r2 = s.F
+// references returns the k extreme frontier points: refs[j] is the frontier
+// point minimizing objective j (Appendix B's reference points, generalized to
+// any dimensionality). Ties on objective j break lexicographically over the
+// remaining objectives in index order, which for k = 2 reproduces the paper's
+// 2D tie-break exactly (r1 prefers smaller F2, r2 prefers smaller F1).
+func references(front []objective.Solution) []objective.Point {
+	k := len(front[0].F)
+	refs := make([]objective.Point, k)
+	for j := 0; j < k; j++ {
+		refs[j] = front[0].F
+		for _, s := range front[1:] {
+			if refLess(s.F, refs[j], j) {
+				refs[j] = s.F
+			}
 		}
 	}
-	return r1, r2
+	return refs
+}
+
+// refLess orders candidate reference points for objective j: smaller F[j]
+// first, ties broken lexicographically over the other coordinates.
+func refLess(a, b objective.Point, j int) bool {
+	if a[j] != b[j] {
+		return a[j] < b[j]
+	}
+	for d := range a {
+		if d == j {
+			continue
+		}
+		if a[d] != b[d] {
+			return a[d] < b[d]
+		}
+	}
+	return false
 }
 
 // slope returns the |Δgain/Δsacrifice| slope between a frontier point and a
@@ -183,14 +239,16 @@ func slope(f, r objective.Point) float64 {
 // point with the steepest slope to the chosen reference point — the largest
 // gain on one objective per unit sacrificed on the other. 2D frontiers only.
 func SlopeMaximization(front []objective.Solution, side Side) (objective.Solution, error) {
-	if len(front) == 0 {
-		return objective.Solution{}, ErrEmptyFrontier
+	k, err := dims(front)
+	if err != nil {
+		return objective.Solution{}, err
 	}
-	if len(front[0].F) != 2 {
-		return objective.Solution{}, errors.New("recommend: slope maximization requires 2 objectives")
+	if k != 2 {
+		return objective.Solution{}, ErrNot2D
 	}
 	utopia, nadir := frontierBox(front)
-	r1, r2 := references(front)
+	refs := references(front)
+	r1, r2 := refs[0], refs[1]
 	r := objective.Normalize(r1, utopia, nadir)
 	if side == Right {
 		r = objective.Normalize(r2, utopia, nadir)
@@ -226,16 +284,17 @@ func SlopeMaximization(front []objective.Solution, side Side) (objective.Solutio
 // maximizing the ratio of its slopes to the two reference points — the point
 // where sacrificing one objective buys the most of the other. 2D only.
 func KneePoint(front []objective.Solution, side Side) (objective.Solution, error) {
-	if len(front) == 0 {
-		return objective.Solution{}, ErrEmptyFrontier
+	k, err := dims(front)
+	if err != nil {
+		return objective.Solution{}, err
 	}
-	if len(front[0].F) != 2 {
-		return objective.Solution{}, errors.New("recommend: knee point requires 2 objectives")
+	if k != 2 {
+		return objective.Solution{}, ErrNot2D
 	}
 	utopia, nadir := frontierBox(front)
-	r1raw, r2raw := references(front)
-	r1 := objective.Normalize(r1raw, utopia, nadir)
-	r2 := objective.Normalize(r2raw, utopia, nadir)
+	refs := references(front)
+	r1 := objective.Normalize(refs[0], utopia, nadir)
+	r2 := objective.Normalize(refs[1], utopia, nadir)
 	best := -1
 	bestRatio := -1.0
 	for i, s := range front {

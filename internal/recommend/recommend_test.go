@@ -166,6 +166,114 @@ func TestKneePoint(t *testing.T) {
 	}
 }
 
+// frontier3D is a mutually non-dominated 3-objective frontier (points on the
+// positive octant of a sphere, scaled to latency/throughput/cost-like units).
+func frontier3D() []objective.Solution {
+	var out []objective.Solution
+	i := 0
+	for a := 1; a <= 4; a++ {
+		for b := 1; b <= 4; b++ {
+			th := float64(a) / 5 * math.Pi / 2
+			ph := float64(b) / 5 * math.Pi / 2
+			f := objective.Point{
+				100 + 200*(1-math.Sin(th)*math.Cos(ph)),
+				50 + 40*(1-math.Sin(th)*math.Sin(ph)),
+				4 + 20*(1-math.Cos(th)),
+			}
+			out = append(out, objective.Solution{F: f, X: []float64{float64(i)}})
+			i++
+		}
+	}
+	return out
+}
+
+// TestKGenericStrategies pins the dimension-generic contract: UN/WUN accept
+// k=3 frontiers, the slope/knee strategies reject them with ErrNot2D, and
+// references returns one extreme per objective.
+func TestKGenericStrategies(t *testing.T) {
+	front := frontier3D()
+	un, err := UtopiaNearest(front)
+	if err != nil {
+		t.Fatalf("UN on k=3: %v", err)
+	}
+	if len(un.F) != 3 {
+		t.Fatalf("UN returned %d objectives", len(un.F))
+	}
+	wun, err := WeightedUtopiaNearest(front, []float64{5, 1, 1})
+	if err != nil {
+		t.Fatalf("WUN on k=3: %v", err)
+	}
+	if wun.F[0] > un.F[0] {
+		t.Fatalf("latency-heavy WUN picked higher latency than UN: %v vs %v", wun.F[0], un.F[0])
+	}
+	if _, err := WorkloadAwareWUN(front, []float64{1, 1, 1}, LongRunning); err != nil {
+		t.Fatalf("workload-aware WUN on k=3: %v", err)
+	}
+	for _, side := range []Side{Left, Right} {
+		if _, err := SlopeMaximization(front, side); err != ErrNot2D {
+			t.Fatalf("SL on k=3: %v, want ErrNot2D", err)
+		}
+		if _, err := KneePoint(front, side); err != ErrNot2D {
+			t.Fatalf("KP on k=3: %v, want ErrNot2D", err)
+		}
+	}
+	refs := references(front)
+	if len(refs) != 3 {
+		t.Fatalf("references returned %d points for k=3", len(refs))
+	}
+	for j, r := range refs {
+		for _, s := range front {
+			if s.F[j] < r[j] {
+				t.Fatalf("refs[%d] = %v not the minimum of objective %d (%v is lower)", j, r, j, s.F)
+			}
+		}
+	}
+}
+
+// TestReferences2DTieBreak pins that the generalized references reproduce the
+// paper's 2D tie-break: among equal-F1 points, r1 takes the smaller F2 (and
+// symmetrically for r2).
+func TestReferences2DTieBreak(t *testing.T) {
+	front := []objective.Solution{
+		{F: objective.Point{1, 9}},
+		{F: objective.Point{1, 5}},
+		{F: objective.Point{4, 2}},
+		{F: objective.Point{7, 2}},
+	}
+	refs := references(front)
+	if refs[0][0] != 1 || refs[0][1] != 5 {
+		t.Fatalf("r1 = %v, want (1, 5)", refs[0])
+	}
+	if refs[1][0] != 4 || refs[1][1] != 2 {
+		t.Fatalf("r2 = %v, want (4, 2)", refs[1])
+	}
+}
+
+// TestRaggedFrontierRejected: mixed-dimension frontiers are a clean error for
+// every strategy, not an index panic.
+func TestRaggedFrontierRejected(t *testing.T) {
+	ragged := []objective.Solution{
+		{F: objective.Point{1, 2}},
+		{F: objective.Point{1, 2, 3}},
+	}
+	if _, err := UtopiaNearest(ragged); err == nil {
+		t.Error("UN accepted a ragged frontier")
+	}
+	if _, err := WeightedUtopiaNearest(ragged, []float64{1, 1}); err == nil {
+		t.Error("WUN accepted a ragged frontier")
+	}
+	if _, err := SlopeMaximization(ragged, Left); err == nil {
+		t.Error("SL accepted a ragged frontier")
+	}
+	if _, err := KneePoint(ragged, Right); err == nil {
+		t.Error("KP accepted a ragged frontier")
+	}
+	empty := []objective.Solution{{F: objective.Point{}}}
+	if _, err := UtopiaNearest(empty); err == nil {
+		t.Error("UN accepted a zero-objective frontier")
+	}
+}
+
 func TestDegenerateFrontiers(t *testing.T) {
 	single := []objective.Solution{{F: objective.Point{100, 8}, X: []float64{0.5}}}
 	if s, err := UtopiaNearest(single); err != nil || s.F[0] != 100 {

@@ -55,6 +55,16 @@ type SpaceInfo struct {
 	Dim  int      `json:"dim"`
 }
 
+// StageInfo summarizes one stage of a pipeline run: the stage's name within
+// the composite space, the workload whose models served it, and its sub-space
+// shape.
+type StageInfo struct {
+	Name     string   `json:"name"`
+	Workload string   `json:"workload,omitempty"`
+	Vars     []string `json:"vars,omitempty"`
+	Dim      int      `json:"dim"`
+}
+
 // Quality holds the frontier-quality metrics of one run, computed by the
 // registry at Append time via internal/metrics. Consistency and
 // HypervolumeDelta compare against the previous recorded run of the same
@@ -96,9 +106,17 @@ type Record struct {
 	Probes     int       `json:"probes"`
 	Space      SpaceInfo `json:"space"`
 
+	// Stages describes the pipeline structure of a stage-wise run (nil for
+	// flat runs); Space then describes the concatenated composite space.
+	Stages []StageInfo `json:"stages,omitempty"`
+
 	Frontier    []FrontierPoint    `json:"frontier"`
 	Recommended map[string]float64 `json:"recommended,omitempty"`
 	Objective   map[string]float64 `json:"objective_values,omitempty"`
+	// StageRecommended is the per-stage view of the recommended configuration
+	// for pipeline runs: StageRecommended[stage][knob], shared knobs repeated
+	// in every stage they tie.
+	StageRecommended map[string]map[string]float64 `json:"stage_recommended,omitempty"`
 
 	Quality Quality `json:"quality"`
 

@@ -55,14 +55,28 @@ func New(server *modelserver.Server) *Service {
 	return &Service{Server: server, Exact: map[string]model.Model{}, optimizers: map[string]*udao.Optimizer{}}
 }
 
-// OptimizeRequest is the /optimize request body.
+// OptimizeRequest is the /optimize request body. A flat request names one
+// workload; a pipeline request additionally lists Stages — the workloads of
+// the pipeline's stages in order — and optionally SharedKnobs, and is solved
+// over the stage-wise composite space (shared knobs tied across stages, every
+// other knob free per stage).
 type OptimizeRequest struct {
 	Workload string `json:"workload"`
 	// Objectives to optimize; default ["latency", "cores"]. Prefix an
-	// objective with "-" to maximize it (e.g. "-throughput").
+	// objective with "-" to maximize it (e.g. "-throughput"). For pipeline
+	// requests, each learned objective is the sum of the per-stage models;
+	// exact objectives (functions of the knobs) contribute once.
 	Objectives []string  `json:"objectives"`
 	Weights    []float64 `json:"weights"`
 	Probes     int       `json:"probes"`
+	// Stages, when non-empty, turns the request into a pipeline: one stage
+	// per listed workload, in order. Workload then labels the pipeline as a
+	// whole (SLO counters, run registry).
+	Stages []string `json:"stages,omitempty"`
+	// SharedKnobs names the cluster knobs tied to a single value across all
+	// stages; every other knob is tuned independently per stage. Empty means
+	// all knobs are shared (stages differ only in their models).
+	SharedKnobs []string `json:"shared_knobs,omitempty"`
 }
 
 // OptimizeResponse is the /optimize response body. ModelEvals and MemoHits
@@ -70,12 +84,16 @@ type OptimizeRequest struct {
 // the same workload+objectives reuse one evaluator, so ModelEvals does not
 // grow when an answer comes entirely from cached work.
 type OptimizeResponse struct {
-	Config         map[string]float64 `json:"config"`
-	Objectives     map[string]float64 `json:"objectives"`
-	FrontierPoints int                `json:"frontier_points"`
-	UncertainSpace float64            `json:"uncertain_space"`
-	ModelEvals     uint64             `json:"model_evals"`
-	MemoHits       uint64             `json:"memo_hits"`
+	Config     map[string]float64 `json:"config"`
+	Objectives map[string]float64 `json:"objectives"`
+	// StageConfigs is the per-stage view of Config for pipeline requests:
+	// StageConfigs[stage][knob], shared knobs repeated in every stage. Nil
+	// for flat requests.
+	StageConfigs   map[string]map[string]float64 `json:"stage_configs,omitempty"`
+	FrontierPoints int                           `json:"frontier_points"`
+	UncertainSpace float64                       `json:"uncertain_space"`
+	ModelEvals     uint64                        `json:"model_evals"`
+	MemoHits       uint64                        `json:"memo_hits"`
 	// RunRecord is the run-registry record ID of this call (retrievable via
 	// GET /runs/{id}); present when the service runs with a registry.
 	RunRecord string `json:"run_record,omitempty"`
@@ -120,10 +138,86 @@ func (s *Service) resolveFor(workload string, names []string) ([]udao.Objective,
 	return objs, nil
 }
 
-// Optimize computes a frontier (cached per workload+objectives, so repeated
-// requests with different weights answer from the cached frontier, §II-B)
-// and recommends with WUN. With a run registry attached, every successful
-// call is recorded end to end; the record ID is returned in the response.
+// pipelineOptimizer builds the stage-wise optimizer of a pipeline request:
+// one stage per listed workload over the full server knob space (so the
+// server's models fit the stage sub-spaces unchanged), shared knobs tied,
+// learned objectives summed across stages, exact objectives contributed once.
+func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int) (*udao.Optimizer, error) {
+	spc := s.Server.Space()
+	var shared []udao.Var
+	if len(req.SharedKnobs) == 0 {
+		shared = append(shared, spc.Vars...)
+	} else {
+		want := make(map[string]bool, len(req.SharedKnobs))
+		for _, n := range req.SharedKnobs {
+			if spc.Lookup(n) < 0 {
+				return nil, fmt.Errorf("service: unknown shared knob %q", n)
+			}
+			want[n] = true
+		}
+		// Server-space order keeps the flat layout deterministic regardless of
+		// how the request orders the names.
+		for _, v := range spc.Vars {
+			if want[v.Name] {
+				shared = append(shared, v)
+			}
+		}
+	}
+	stages := make([]udao.Stage, len(req.Stages))
+	seen := make(map[string]int, len(req.Stages))
+	for i, w := range req.Stages {
+		if w == "" {
+			return nil, fmt.Errorf("service: empty stage workload")
+		}
+		name := w
+		seen[w]++
+		if seen[w] > 1 {
+			name = fmt.Sprintf("%s#%d", w, seen[w])
+		}
+		stages[i] = udao.Stage{Name: name, Vars: spc.Vars}
+	}
+	objNames := req.Objectives
+	if len(objNames) == 0 {
+		objNames = []string{"latency", "cores"}
+	}
+	objs := make([]udao.PipelineObjective, 0, len(objNames))
+	for _, n := range objNames {
+		maximize := false
+		if len(n) > 0 && n[0] == '-' {
+			maximize = true
+			n = n[1:]
+		}
+		ms := make([]udao.Model, len(stages))
+		if m, ok := s.Exact[n]; ok {
+			// A known function of the knobs has one value for the pipeline;
+			// charge it once through the first stage rather than per stage.
+			ms[0] = m
+		} else {
+			for i := range stages {
+				m, err := s.Server.Model(req.Stages[i], n)
+				if err != nil {
+					return nil, err
+				}
+				ms[i] = m
+			}
+		}
+		objs = append(objs, udao.PipelineObjective{Name: n, StageModels: ms, Maximize: maximize})
+	}
+	c, err := udao.NewCompositeSpace(shared, stages)
+	if err != nil {
+		return nil, err
+	}
+	// The composite search space grows with the stage count; scale MOGD's
+	// multi-start budget with it so frontier diversity doesn't collapse on
+	// the concatenated encoding.
+	return udao.NewPipelineOptimizer(c, objs, udao.Options{Probes: probes, Starts: 8 * len(stages), Seed: s.Seed, Telemetry: s.Telemetry})
+}
+
+// Optimize computes a frontier (cached per workload+objectives+stages, so
+// repeated requests with different weights answer from the cached frontier,
+// §II-B) and recommends with WUN. With a run registry attached, every
+// successful call is recorded end to end; the record ID is returned in the
+// response.
 func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	start := time.Now()
 	if req.Workload == "" {
@@ -133,19 +227,31 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	for _, n := range req.Objectives {
 		key += "|" + n
 	}
+	for _, w := range req.Stages {
+		key += "|stage:" + w
+	}
+	for _, n := range req.SharedKnobs {
+		key += "|shared:" + n
+	}
 	s.mu.Lock()
 	opt, ok := s.optimizers[key]
 	s.mu.Unlock()
 	if !ok {
-		objs, err := s.resolveFor(req.Workload, req.Objectives)
-		if err != nil {
-			return nil, err
-		}
 		probes := req.Probes
 		if probes == 0 {
 			probes = 30
 		}
-		opt, err = udao.NewOptimizer(s.Server.Space(), objs, udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry})
+		var err error
+		if len(req.Stages) > 0 {
+			opt, err = s.pipelineOptimizer(req, probes)
+		} else {
+			var objs []udao.Objective
+			objs, err = s.resolveFor(req.Workload, req.Objectives)
+			if err != nil {
+				return nil, err
+			}
+			opt, err = udao.NewOptimizer(s.Server.Space(), objs, udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +268,7 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 		return nil, err
 	}
 	uncertain, _ := opt.UncertainSpace()
-	spc := s.Server.Space()
+	spc := opt.Space()
 	conf := make(map[string]float64, spc.NumVars())
 	for i, v := range spc.Vars {
 		conf[v.Name] = float64(plan.Config[i])
@@ -175,6 +281,22 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 		UncertainSpace: uncertain,
 		ModelEvals:     opt.Evals(),
 		MemoHits:       hits,
+	}
+	if comp := opt.CompositeSpace(); comp != nil && plan.Stages != nil {
+		resp.StageConfigs = make(map[string]map[string]float64, len(plan.Stages))
+		for si := range comp.Stages {
+			name := comp.Stages[si].Name
+			sv, ok := plan.Stages[name]
+			if !ok {
+				continue
+			}
+			ss := comp.StageSpace(si)
+			m := make(map[string]float64, len(ss.Vars))
+			for j, v := range ss.Vars {
+				m[v.Name] = float64(sv[j])
+			}
+			resp.StageConfigs[name] = m
+		}
 	}
 	if s.Telemetry != nil {
 		resp.Telemetry = &RunTelemetry{
@@ -224,7 +346,7 @@ func (s *Service) observeSolve(workload string, d time.Duration) {
 // frontier-quality gauges. It returns the assigned record ID ("" when the
 // append failed — recording never fails a served answer).
 func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *OptimizeResponse, uncertain float64, misses uint64, solveDur time.Duration) string {
-	spc := s.Server.Space()
+	spc := opt.Space()
 	vars := make([]string, len(spc.Vars))
 	for i, v := range spc.Vars {
 		vars[i] = v.Name
@@ -265,6 +387,22 @@ func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *Optimiz
 		SolveSec:    solveDur.Seconds(),
 		Expands:     expands,
 		TraceRunID:  opt.RunID(),
+	}
+	if comp := opt.CompositeSpace(); comp != nil {
+		rec.Stages = make([]runlog.StageInfo, comp.NumStages())
+		for si := range comp.Stages {
+			ss := comp.StageSpace(si)
+			svars := make([]string, len(ss.Vars))
+			for j, v := range ss.Vars {
+				svars[j] = v.Name
+			}
+			w := ""
+			if si < len(req.Stages) {
+				w = req.Stages[si]
+			}
+			rec.Stages[si] = runlog.StageInfo{Name: comp.Stages[si].Name, Workload: w, Vars: svars, Dim: ss.Dim()}
+		}
+		rec.StageRecommended = resp.StageConfigs
 	}
 	stored, err := s.Runs.Append(rec)
 	if err != nil {

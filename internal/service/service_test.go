@@ -7,11 +7,13 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/model"
 	"repro/internal/modelserver"
+	"repro/internal/runlog"
 	"repro/internal/space"
 	"repro/internal/spark"
 	"repro/internal/telemetry"
@@ -314,5 +316,153 @@ func TestMetricsAndTraceEndpoints(t *testing.T) {
 	}
 	if len(runList.Runs) == 0 {
 		t.Fatal("no runs listed")
+	}
+}
+
+// buildPipelineService collects traces for two workloads so a pipeline
+// request can resolve per-stage models.
+func buildPipelineService(t *testing.T) (*Service, []string) {
+	t.Helper()
+	spc := spark.BatchSpace()
+	cl := spark.DefaultCluster()
+	st := trace.NewStore()
+	workloads := []string{"etl-test", "ml-test"}
+	for i, wl := range workloads {
+		df := spark.Chain(wl, 3e6+1e6*float64(i), 100,
+			spark.Operator{Kind: spark.OpScan, Selectivity: 1, CostPerRow: 1 + 0.5*float64(i)},
+			spark.Operator{Kind: spark.OpExchange, Selectivity: 1, CostPerRow: 0.1},
+			spark.Operator{Kind: spark.OpAggregate, Selectivity: 0.01, CostPerRow: 0.5, MemPerRow: 64},
+		)
+		run := func(conf space.Values, seed int64) (map[string]float64, []float64, error) {
+			m, err := spark.Run(df, spc, conf, cl, seed)
+			if err != nil {
+				return nil, nil, err
+			}
+			return map[string]float64{"latency": m.LatencySec}, m.TraceVector(), nil
+		}
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), 40, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.Collect(st, spc, wl, confs, run, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := New(modelserver.New(spc, st, modelserver.Config{Kind: modelserver.GP}))
+	svc.Exact["cores"] = model.Func{D: spc.Dim(), F: func(x []float64) float64 {
+		vals, err := spc.Decode(x)
+		if err != nil {
+			return 0
+		}
+		inst, _ := spc.Get(vals, spark.KnobInstances)
+		c, _ := spc.Get(vals, spark.KnobCores)
+		return inst * c
+	}}
+	return svc, workloads
+}
+
+// TestOptimizePipeline is the service acceptance test: a two-stage pipeline
+// request with tied cluster knobs solves through /optimize's path and reports
+// per-stage recommended configurations.
+func TestOptimizePipeline(t *testing.T) {
+	svc, workloads := buildPipelineService(t)
+	reg, err := runlog.Open(filepath.Join(t.TempDir(), "runs.jsonl"), runlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	svc.Runs = reg
+	req := OptimizeRequest{
+		Workload:    "pipe-test",
+		Stages:      workloads,
+		SharedKnobs: []string{spark.KnobInstances, spark.KnobCores},
+		Probes:      24,
+		Weights:     []float64{0.5, 0.5},
+	}
+	resp, err := svc.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.FrontierPoints < 2 {
+		t.Fatalf("frontier points = %d", resp.FrontierPoints)
+	}
+	if len(resp.StageConfigs) != 2 {
+		t.Fatalf("stage configs = %v", resp.StageConfigs)
+	}
+	for _, wl := range workloads {
+		sc := resp.StageConfigs[wl]
+		if sc == nil {
+			t.Fatalf("missing stage config for %q", wl)
+		}
+		// Tied knobs agree with each other and with the flat config.
+		for _, shared := range []string{spark.KnobInstances, spark.KnobCores} {
+			if sc[shared] != resp.Config[shared] {
+				t.Fatalf("stage %q knob %q = %v, flat config %v", wl, shared, sc[shared], resp.Config[shared])
+			}
+		}
+		// Every server knob appears in each stage view.
+		for _, v := range svc.Server.Space().Vars {
+			if _, ok := sc[v.Name]; !ok {
+				t.Fatalf("stage %q view missing knob %q", wl, v.Name)
+			}
+		}
+	}
+	// Unshared knobs appear qualified in the flat config.
+	if _, ok := resp.Config[workloads[0]+"."+spark.KnobParallelism]; !ok {
+		t.Fatalf("flat config lacks qualified stage knob: %v", resp.Config)
+	}
+	if resp.Objectives["latency"] <= 0 || resp.Objectives["cores"] <= 0 {
+		t.Fatalf("bad objectives: %v", resp.Objectives)
+	}
+	// The run registry records the pipeline structure and the per-stage
+	// recommendation.
+	if resp.RunRecord == "" {
+		t.Fatal("pipeline run not recorded")
+	}
+	rec, ok := reg.Get(resp.RunRecord)
+	if !ok {
+		t.Fatalf("record %q not in registry", resp.RunRecord)
+	}
+	if len(rec.Stages) != 2 {
+		t.Fatalf("record has %d stages", len(rec.Stages))
+	}
+	for i, st := range rec.Stages {
+		if st.Workload != workloads[i] || st.Name != workloads[i] {
+			t.Fatalf("stage %d = %+v, want workload %q", i, st, workloads[i])
+		}
+		if st.Dim != svc.Server.Space().Dim() {
+			t.Fatalf("stage %d dim %d != server space dim %d", i, st.Dim, svc.Server.Space().Dim())
+		}
+	}
+	if len(rec.StageRecommended) != 2 {
+		t.Fatalf("record stage recommendations: %v", rec.StageRecommended)
+	}
+	if rec.Space.Dim != svc.Server.Space().Dim()*2-2 {
+		// 2 shared integer knobs counted once: composite flat dim.
+		t.Fatalf("record space dim %d", rec.Space.Dim)
+	}
+
+	// A repeated call answers from the cached pipeline optimizer.
+	evals := resp.ModelEvals
+	resp2, err := svc.Optimize(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.ModelEvals != evals {
+		t.Fatalf("cached pipeline re-solve grew evals: %d -> %d", evals, resp2.ModelEvals)
+	}
+}
+
+func TestOptimizePipelineValidation(t *testing.T) {
+	svc, workloads := buildPipelineService(t)
+	if _, err := svc.Optimize(OptimizeRequest{Workload: "p", Stages: []string{""}}); err == nil {
+		t.Fatal("empty stage workload accepted")
+	}
+	if _, err := svc.Optimize(OptimizeRequest{Workload: "p", Stages: workloads, SharedKnobs: []string{"no-such-knob"}}); err == nil {
+		t.Fatal("unknown shared knob accepted")
+	}
+	if _, err := svc.Optimize(OptimizeRequest{Workload: "p", Stages: []string{"missing-workload"}, Probes: 5}); err == nil {
+		t.Fatal("unknown stage workload accepted")
 	}
 }

@@ -1,0 +1,69 @@
+package space
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchSpace builds an n-variable space shaped like the Spark knob tables
+// (single-dimension variables, distinct names).
+func benchSpace(n int) *Space {
+	vars := make([]Var, n)
+	for i := range vars {
+		vars[i] = Var{Name: fmt.Sprintf("spark.knob.%02d", i), Kind: Integer, Min: 1, Max: 100}
+	}
+	return MustNew(vars)
+}
+
+// lookupLinearRef is the pre-map Lookup implementation, kept as the benchmark
+// baseline the O(1) map path is measured against.
+func lookupLinearRef(s *Space, name string) int {
+	for i, v := range s.Vars {
+		if v.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// BenchmarkLookup measures the map-backed Lookup on the last variable of a
+// 12-knob space — the worst case for the linear scan it replaced, and the
+// shape of every spc.Get call in the examples and trace collection.
+func BenchmarkLookup(b *testing.B) {
+	s := benchSpace(12)
+	name := s.Vars[11].Name
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Lookup(name) != 11 {
+			b.Fatal("wrong index")
+		}
+	}
+}
+
+// BenchmarkLookupLinearRef is the linear-scan reference for BenchmarkLookup.
+func BenchmarkLookupLinearRef(b *testing.B) {
+	s := benchSpace(12)
+	name := s.Vars[11].Name
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if lookupLinearRef(s, name) != 11 {
+			b.Fatal("wrong index")
+		}
+	}
+}
+
+// BenchmarkGet measures the full named-value read that sits on top of Lookup.
+func BenchmarkGet(b *testing.B) {
+	s := benchSpace(12)
+	vals := make(Values, s.NumVars())
+	for i := range vals {
+		vals[i] = Value(i + 1)
+	}
+	name := s.Vars[11].Name
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(vals, name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -52,11 +52,12 @@ type Space struct {
 	Vars    []Var
 	offsets []int
 	dim     int
+	index   map[string]int // name → first Vars index, resolved at New time
 }
 
 // New validates the variable definitions and computes the encoding layout.
 func New(vars []Var) (*Space, error) {
-	s := &Space{Vars: vars}
+	s := &Space{Vars: vars, index: make(map[string]int, len(vars))}
 	for i, v := range vars {
 		if v.Name == "" {
 			return nil, fmt.Errorf("space: variable %d has no name", i)
@@ -76,6 +77,9 @@ func New(vars []Var) (*Space, error) {
 			}
 		default:
 			return nil, fmt.Errorf("space: %s has unknown kind %d", v.Name, v.Kind)
+		}
+		if _, dup := s.index[v.Name]; !dup {
+			s.index[v.Name] = i
 		}
 		s.offsets = append(s.offsets, s.dim)
 		s.dim += v.width()
@@ -197,12 +201,13 @@ func (s *Space) Round(x []float64) ([]float64, error) {
 	return s.Encode(vals)
 }
 
-// Lookup returns the index of the named variable, or -1.
+// Lookup returns the index of the named variable, or -1. The name→index map
+// is resolved once at New time, so Lookup is O(1) — it sits under Get on the
+// example and trace-collection hot paths, where the old linear scan dominated
+// per-knob access cost (see BenchmarkLookup vs BenchmarkLookupLinearRef).
 func (s *Space) Lookup(name string) int {
-	for i, v := range s.Vars {
-		if v.Name == name {
-			return i
-		}
+	if i, ok := s.index[name]; ok {
+		return i
 	}
 	return -1
 }

@@ -109,6 +109,10 @@ type Plan struct {
 	Config     Values
 	X          []float64 // encoded configuration
 	Objectives map[string]float64
+	// Stages holds the per-stage view of Config for pipeline optimizers
+	// (NewPipelineOptimizer): Stages[name] is the stage's own knob assignment,
+	// shared knobs repeated in each. Nil for flat (single-stage) optimizers.
+	Stages map[string]Values
 }
 
 // Optimizer computes Pareto frontiers and recommendations for one task.
@@ -123,6 +127,9 @@ type Optimizer struct {
 	ev       *problem.Evaluator
 	run      *core.Run
 	frontier []objective.Solution
+	// comp is set by NewPipelineOptimizer: the stage structure behind spc,
+	// used to report per-stage configurations in plans.
+	comp *CompositeSpace
 }
 
 // NewOptimizer validates the task and builds an optimizer.
@@ -150,6 +157,10 @@ func NewOptimizer(spc *Space, objs []Objective, opt Options) (*Optimizer, error)
 // RunID returns the trace run ID tagging this optimizer's telemetry events
 // ("" when telemetry is disabled).
 func (o *Optimizer) RunID() string { return o.opt.RunID }
+
+// Space returns the configuration space this optimizer searches — for
+// pipeline optimizers, the flat concatenated space of the composite.
+func (o *Optimizer) Space() *Space { return o.spc }
 
 // models returns the minimization-oriented models.
 func (o *Optimizer) models() []model.Model {
@@ -319,6 +330,16 @@ func (o *Optimizer) plans(front []objective.Solution) []Plan {
 				v = -v
 			}
 			p.Objectives[obj.Name] = v
+		}
+		if o.comp != nil {
+			p.Stages = make(map[string]Values, o.comp.NumStages())
+			for si := range o.comp.Stages {
+				sv, err := o.comp.StageValues(conf, si)
+				if err != nil {
+					continue
+				}
+				p.Stages[o.comp.Stages[si].Name] = sv
+			}
 		}
 		out = append(out, p)
 	}

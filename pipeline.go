@@ -1,0 +1,88 @@
+package udao
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/problem"
+	"repro/internal/space"
+)
+
+// Pipeline (stage-wise) optimization: the §VIII "pipeline of tasks" extension.
+// A pipeline's configuration space is a CompositeSpace — shared cluster knobs
+// tied by name across named stages, each stage adding its own knob block —
+// and each objective is assembled from per-stage models, every model trained
+// on its own stage sub-space. The optimizer itself is the ordinary Optimizer:
+// the composite's concatenated encoding flows through MOGD, the Progressive
+// Frontier algorithms and the recommendation strategies unchanged, and plans
+// come back with a per-stage view of the recommended configuration.
+
+// CompositeSpace is a stage-wise configuration space: shared knobs tied by
+// name across named stages. It embeds the flat concatenated Space, so it can
+// be used anywhere a Space is expected.
+type CompositeSpace = space.Composite
+
+// Stage is one named stage of a CompositeSpace.
+type Stage = space.Stage
+
+// NewCompositeSpace builds a stage-wise configuration space. Shared variables
+// keep their plain names in the flat encoding; stage-local variables are
+// qualified as "stage.name". A variable listed both in shared and in a
+// stage's Vars is tied: the stage's sub-space sees it, but it occupies a
+// single shared block of the flat encoding.
+func NewCompositeSpace(shared []Var, stages []Stage) (*CompositeSpace, error) {
+	return space.NewComposite(shared, stages)
+}
+
+// PipelineObjective is one pipeline objective assembled from per-stage
+// models: the objective's value is the weighted sum of each stage model
+// applied to that stage's sub-vector (e.g. pipeline latency as the sum of
+// stage latencies). A nil stage model means the stage does not contribute.
+type PipelineObjective struct {
+	// Name identifies the objective ("latency", "cost", ...).
+	Name string
+	// StageModels holds one model per pipeline stage, in stage order, each
+	// trained on the corresponding stage sub-space; nil entries contribute
+	// nothing.
+	StageModels []Model
+	// StageWeights scales the stage contributions; nil means all 1.
+	StageWeights []float64
+	// Maximize marks objectives that favor larger values; negated internally
+	// per Problem III.1.
+	Maximize bool
+	// Lower and Upper are optional value constraints on the assembled
+	// pipeline objective; zero values mean unconstrained.
+	Lower, Upper float64
+}
+
+// NewPipelineOptimizer builds an Optimizer for a stage-wise pipeline: each
+// objective is routed block-wise over the composite encoding and the
+// resulting plans carry per-stage configurations in Plan.Stages. Everything
+// else — frontier computation, Expand, Recommend, telemetry — behaves exactly
+// as for NewOptimizer.
+func NewPipelineOptimizer(c *CompositeSpace, objs []PipelineObjective, opt Options) (*Optimizer, error) {
+	if c == nil {
+		return nil, errors.New("udao: nil composite space")
+	}
+	if len(objs) < 1 {
+		return nil, errors.New("udao: need at least one objective")
+	}
+	flat := make([]Objective, len(objs))
+	for i, po := range objs {
+		m, err := problem.RoutedObjective(c, problem.StageObjective{Models: po.StageModels, Weights: po.StageWeights})
+		if err != nil {
+			return nil, fmt.Errorf("udao: objective %q: %w", po.Name, err)
+		}
+		flat[i] = Objective{Name: po.Name, Model: m, Maximize: po.Maximize, Lower: po.Lower, Upper: po.Upper}
+	}
+	o, err := NewOptimizer(c.Space, flat, opt)
+	if err != nil {
+		return nil, err
+	}
+	o.comp = c
+	return o, nil
+}
+
+// CompositeSpace returns the stage structure behind a pipeline optimizer, or
+// nil for flat optimizers.
+func (o *Optimizer) CompositeSpace() *CompositeSpace { return o.comp }

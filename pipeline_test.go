@@ -1,0 +1,173 @@
+package udao
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// twoStagePipeline builds the acceptance scenario: an etl and an ml stage
+// with disjoint stage knobs tied through shared cluster knobs (instances,
+// cores), pipeline latency as the sum of stage latencies and cluster cost
+// contributed once.
+func twoStagePipeline(t testing.TB) (*CompositeSpace, []PipelineObjective) {
+	t.Helper()
+	shared := []Var{
+		{Name: "instances", Kind: Integer, Min: 2, Max: 14},
+		{Name: "cores", Kind: Integer, Min: 1, Max: 4},
+	}
+	c, err := NewCompositeSpace(shared, []Stage{
+		{Name: "etl", Vars: []Var{
+			shared[0], shared[1],
+			{Name: "partitions", Kind: Integer, Min: 8, Max: 512, Log: true},
+		}},
+		{Name: "ml", Vars: []Var{
+			shared[0], shared[1],
+			{Name: "batch", Kind: Integer, Min: 1000, Max: 32000, Log: true},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stage latencies fall with cluster parallelism (x0·x1) and have a
+	// stage-knob sweet spot; cluster cost rises with parallelism and is
+	// contributed by the etl stage alone (shared knobs are tied, so either
+	// stage sees the same values).
+	stageLat := func(base float64) Model {
+		return model.Func{D: 3, F: func(x []float64) float64 {
+			par := 1 + 7*x[0]*x[1]
+			return base/par + 20*(x[2]-0.5)*(x[2]-0.5)
+		}}
+	}
+	cost := model.Func{D: 3, F: func(x []float64) float64 {
+		return 1 + 10*x[0]*x[1]
+	}}
+	return c, []PipelineObjective{
+		{Name: "latency", StageModels: []Model{stageLat(600), stageLat(900)}},
+		{Name: "cost", StageModels: []Model{cost, nil}},
+	}
+}
+
+// TestPipelineEndToEnd is the facade acceptance test: a two-stage pipeline
+// with tied shared knobs and disjoint per-stage knobs solves through the
+// ordinary Optimizer and reports per-stage recommended configurations.
+func TestPipelineEndToEnd(t *testing.T) {
+	c, objs := twoStagePipeline(t)
+	opt, err := NewPipelineOptimizer(c, objs, Options{Probes: 30, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CompositeSpace() != c {
+		t.Fatal("composite space not retained")
+	}
+	front, err := opt.ParetoFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(front) < 3 {
+		t.Fatalf("frontier has %d plans", len(front))
+	}
+	for _, p := range front {
+		if len(p.Stages) != 2 {
+			t.Fatalf("plan has %d stage configs: %+v", len(p.Stages), p)
+		}
+		etl, ml := p.Stages["etl"], p.Stages["ml"]
+		if etl == nil || ml == nil {
+			t.Fatalf("missing stage configs: %+v", p.Stages)
+		}
+		// Tied shared knobs appear identically in both stages.
+		for _, name := range []string{"instances", "cores"} {
+			a, errA := c.StageSpace(0).Get(etl, name)
+			b, errB := c.StageSpace(1).Get(ml, name)
+			if errA != nil || errB != nil {
+				t.Fatalf("shared knob %q missing from a stage view", name)
+			}
+			if a != b {
+				t.Fatalf("tied knob %q differs across stages: %v vs %v", name, a, b)
+			}
+			flat, err := c.Get(p.Config, name)
+			if err != nil || flat != a {
+				t.Fatalf("stage view of %q (%v) disagrees with flat config (%v, %v)", name, a, flat, err)
+			}
+		}
+		// Disjoint stage knobs stay in their own stage view only.
+		if _, err := c.StageSpace(0).Get(etl, "partitions"); err != nil {
+			t.Fatal("etl view lost its own knob")
+		}
+		if _, err := c.StageSpace(1).Get(ml, "partitions"); err == nil {
+			t.Fatal("ml view leaked an etl knob")
+		}
+		// Lattice validity of the stage knobs.
+		parts, _ := c.StageSpace(0).Get(etl, "partitions")
+		if parts != math.Round(parts) || parts < 8 || parts > 512 {
+			t.Fatalf("invalid partitions %v", parts)
+		}
+	}
+	plan, err := opt.Optimize([]float64{0.8, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Objectives["latency"] <= 0 || plan.Objectives["cost"] <= 0 {
+		t.Fatalf("bad recommendation %+v", plan.Objectives)
+	}
+}
+
+// TestPipelineMatchesManualRouting proves the pipeline facade predicts the
+// same objective values as manually summing stage models over the stage
+// sub-vectors — i.e. the routed assembly changes nothing semantically.
+func TestPipelineMatchesManualRouting(t *testing.T) {
+	c, objs := twoStagePipeline(t)
+	opt, err := NewPipelineOptimizer(c, objs, Options{Probes: 12, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front, err := opt.ParetoFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range front {
+		want := 0.0
+		for si := 0; si < c.NumStages(); si++ {
+			want += objs[0].StageModels[si].Predict(c.Gather(si, p.X, nil))
+		}
+		if math.Abs(p.Objectives["latency"]-want) > 1e-9 {
+			t.Fatalf("plan latency %v != manual stage sum %v", p.Objectives["latency"], want)
+		}
+	}
+}
+
+func TestNewPipelineOptimizerValidation(t *testing.T) {
+	c, objs := twoStagePipeline(t)
+	if _, err := NewPipelineOptimizer(nil, objs, Options{}); err == nil {
+		t.Fatal("nil composite accepted")
+	}
+	if _, err := NewPipelineOptimizer(c, nil, Options{}); err == nil {
+		t.Fatal("no objectives accepted")
+	}
+	if _, err := NewPipelineOptimizer(c, []PipelineObjective{{Name: "x", StageModels: []Model{nil, nil}}}, Options{}); err == nil {
+		t.Fatal("all-nil stage models accepted")
+	}
+	bad := model.Func{D: 9, F: func(x []float64) float64 { return 0 }}
+	if _, err := NewPipelineOptimizer(c, []PipelineObjective{{Name: "x", StageModels: []Model{bad, nil}}}, Options{}); err == nil {
+		t.Fatal("stage-dim mismatch accepted")
+	}
+	// Flat optimizers report no stage view.
+	spc, flatObjs := coresProblem(t)
+	flat, err := NewOptimizer(spc, flatObjs, Options{Probes: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.CompositeSpace() != nil {
+		t.Fatal("flat optimizer claims a composite space")
+	}
+	front, err := flat.ParetoFrontier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range front {
+		if p.Stages != nil {
+			t.Fatalf("flat plan grew stage configs: %+v", p.Stages)
+		}
+	}
+}

@@ -14,11 +14,15 @@
 #   internal/model/dnn   Predict / Gradient / ValueGrad / PredictVar /
 #                        ValueGradBatch / ValueGradScalarLoop
 #   internal/problem     EvaluatorMemoHit[Telemetry] / EvaluatorMemoMiss /
-#                        EvaluatorValueGrad[Telemetry] / EvalBatch[Serial]
+#                        EvaluatorValueGrad[Telemetry] / EvalBatch[Serial] /
+#                        CompositeEval / CompositeValueGrad (the stage-wise
+#                        pipeline evaluation seam)
 #                        (the *Telemetry variants run with the full metrics
 #                        registry + tracer attached at default sampling; the
 #                        diff against their plain twins is the telemetry
 #                        overhead, expected ~1% time and 0 extra allocs)
+#   internal/space       Lookup / LookupLinearRef / Get  (name->index map vs
+#                        the old linear scan under the Get hot path)
 #   internal/solver/mogd MOGDSolve / MOGDSolveSerial / MOGDSolveBatch
 #   internal/moo/ws, nc  WSRun / NCRun  (baseline inner loops)
 #   internal/core        Sequential / Parallel  (PF-S / PF-AP end to end)
@@ -33,7 +37,8 @@ trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'GEMM' -benchmem -benchtime 1s ./internal/linalg/ >>"$RAW"
 go test -run '^$' -bench 'Predict|Gradient|ValueGrad' -benchmem -benchtime 1s ./internal/model/dnn/ >>"$RAW"
-go test -run '^$' -bench 'Evaluator|EvalBatch' -benchmem -benchtime 1s ./internal/problem/ >>"$RAW"
+go test -run '^$' -bench 'Evaluator|EvalBatch|Composite' -benchmem -benchtime 1s ./internal/problem/ >>"$RAW"
+go test -run '^$' -bench 'Lookup|Get' -benchmem -benchtime 1s ./internal/space/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'WSRun|NCRun' -benchmem -benchtime 1s ./internal/moo/ws/ ./internal/moo/nc/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime 1s ./internal/core/ >>"$RAW"

@@ -29,16 +29,17 @@ if [ ! -f "$BASE" ]; then
 fi
 
 # Tracked benchmarks: the blocked GEMM kernel, the batched DNN pass, the
-# evaluator seam (scalar and matrix-batch), the MOGD solver hot path, and the
-# end-to-end Progressive Frontier loops.
-TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel'
+# evaluator seam (scalar, matrix-batch, and the stage-wise composite eval —
+# informational until its first scripts/bench.sh recording), the MOGD solver
+# hot path, and the end-to-end Progressive Frontier loops.
+TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 go test -run '^$' -bench 'GEMM' -benchmem -benchtime "$BENCHTIME" ./internal/linalg/ >>"$RAW"
 go test -run '^$' -bench 'ValueGradBatch' -benchmem -benchtime "$BENCHTIME" ./internal/model/dnn/ >>"$RAW"
-go test -run '^$' -bench 'Evaluator|EvalBatch' -benchmem -benchtime "$BENCHTIME" ./internal/problem/ >>"$RAW"
+go test -run '^$' -bench 'Evaluator|EvalBatch|Composite' -benchmem -benchtime "$BENCHTIME" ./internal/problem/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime "$BENCHTIME" ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime "$BENCHTIME" ./internal/core/ >>"$RAW"
 
@@ -95,8 +96,11 @@ for b in $TRACKED; do
     fi
     # Allocation contract: a zero-alloc baseline (EvaluatorValueGrad*, GEMM,
     # ValueGradBatch) must stay at zero; non-zero baselines get 2% slack for
-    # scheduler jitter in the multi-start benchmarks.
-    ALIMIT=$(( BASE_AL + BASE_AL / 50 ))
+    # scheduler jitter in the multi-start benchmarks — widened to 10% in
+    # short mode, where one-time pool warm-up allocations amortize over far
+    # fewer iterations than in the recorded 1s baseline.
+    if [ "$BENCHTIME" = "1s" ]; then ASLACK=50; else ASLACK=10; fi
+    ALIMIT=$(( BASE_AL + BASE_AL / ASLACK ))
     if [ "$FRESH_AL" -gt "$ALIMIT" ]; then
         echo "bench_check: FAIL $b allocs/op grew: $BASE_AL -> $FRESH_AL (limit $ALIMIT)" >&2
         FAILED=1
