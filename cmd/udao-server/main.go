@@ -11,8 +11,9 @@
 //	GET  /runs        recorded optimization runs (?workload=, ?limit=, ?since=)
 //	GET  /runs/{id}   one full run record (frontier, quality, counters)
 //	GET  /workloads/{name}/quality  frontier-quality series of one workload
-//	GET  /healthz     liveness
-//	GET  /readyz      readiness (model server + run-registry writability)
+//	GET  /alerts      recent watchdog alerts (?limit=)
+//	GET  /healthz     liveness (+ watchdog sweep counters)
+//	GET  /readyz      readiness (model server + run-registry + alert-log writability)
 //	GET  /metrics     Prometheus text exposition of the udao_* metrics
 //	GET  /debug/trace replay one optimizer run (?run=opt-1) or list runs
 //	GET  /debug/vars  expvar JSON (includes the metrics snapshot)
@@ -38,6 +39,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/bench/tpcxbb"
 	"repro/internal/model"
@@ -48,6 +50,7 @@ import (
 	"repro/internal/spark"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/watch"
 )
 
 var (
@@ -62,6 +65,10 @@ var (
 	sinkMaxMB  = flag.Int("trace-sink-max-mb", 0, "rotate the trace sink past this many MiB (0 uses the 64 MiB default)")
 	runsPath   = flag.String("runs", "runs.jsonl", "run-registry JSONL file recording every /optimize call (empty disables)")
 	runsMaxMB  = flag.Int("runs-max-mb", 0, "rotate the run registry past this many MiB (0 uses the 64 MiB default)")
+	alertsPath = flag.String("alerts", "alerts.jsonl", "watchdog alert log, JSON lines, size-rotated (empty disables the watchdog)")
+	alertMaxMB = flag.Int("alerts-max-mb", 0, "rotate the alert log past this many MiB (0 uses the 64 MiB default)")
+	watchEvery = flag.Duration("watch-interval", 15*time.Second, "watchdog rule-sweep interval")
+	flightDir  = flag.String("flight-dir", "flight", "flight-recorder bundle directory for triggered pprof captures (empty disables)")
 )
 
 func main() {
@@ -142,6 +149,25 @@ func main() {
 		defer reg.Close()
 		svc.Runs = reg
 		logger.Info("run registry open", "path", *runsPath, "records", reg.Len())
+	}
+	if *alertsPath != "" {
+		wd, err := watch.New(watch.Config{
+			Telemetry:     tel,
+			Runs:          svc.Runs,
+			AlertPath:     *alertsPath,
+			AlertMaxBytes: int64(*alertMaxMB) << 20,
+			Interval:      *watchEvery,
+			Flight:        watch.FlightConfig{Dir: *flightDir},
+			Logger:        logger,
+		})
+		if err != nil {
+			logger.Error("starting watchdog", "err", err)
+			os.Exit(1)
+		}
+		wd.Start()
+		defer wd.Stop()
+		svc.Watch = wd
+		logger.Info("watchdog running", "alerts", *alertsPath, "interval", *watchEvery, "flight", *flightDir)
 	}
 	// Cost in #cores is a known function of the knobs: register it exactly.
 	svc.Exact["cores"] = model.Func{D: spc.Dim(), F: func(x []float64) float64 {

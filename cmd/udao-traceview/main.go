@@ -1,17 +1,24 @@
-// Command udao-traceview renders offline reports from the observability
-// artifacts a udao-server run leaves behind: the run registry
+// Command udao-traceview renders reports from udao-server's observability
+// surfaces. The default (report) mode is offline: it reads the run registry
 // (-runs runs.jsonl, written on every /optimize) and the telemetry trace
-// sink (-trace trace.jsonl, one JSON line per trace event). It needs no
-// running server — both inputs are plain JSONL files, rotated siblings
-// (file.1, file.2, …) included.
+// sink (-trace trace.jsonl, one JSON line per trace event) — plain JSONL
+// files, rotated siblings (file.1, file.2, …) included — and needs no
+// running server. The watch mode is live: it polls a running server's
+// /metrics and /alerts endpoints into a refreshing terminal dashboard.
 //
 //	udao-traceview -runs runs.jsonl                      dashboard summary
 //	udao-traceview -runs runs.jsonl -workload q1-w001    quality series + regressions
-//	udao-traceview -runs runs.jsonl -trace trace.jsonl run-000003
+//	udao-traceview report -runs runs.jsonl -trace trace.jsonl run-000003
 //	                                                     one run end to end:
 //	                                                     quality, expand
 //	                                                     trajectory, per-phase
-//	                                                     time breakdown
+//	                                                     span timeline
+//	udao-traceview watch -url http://127.0.0.1:8080      live dashboard
+//
+// For runs recorded with span-level tracing the per-run report shows an
+// exact per-phase timeline (self time per phase from the span tree rooted
+// at the run's root span); older traces without span IDs fall back to the
+// heuristic scope grouping.
 package main
 
 import (
@@ -38,6 +45,15 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "watch":
+			return watchCmd(args[1:], out)
+		case "report":
+			// "report <run>" is the spelled-out form of the positional run ID.
+			args = args[1:]
+		}
+	}
 	fs := flag.NewFlagSet("udao-traceview", flag.ContinueOnError)
 	fs.SetOutput(out)
 	runsPath := fs.String("runs", "runs.jsonl", "run registry JSONL (rotated siblings are read too)")
@@ -158,9 +174,54 @@ func runReport(out io.Writer, recs []runlog.Record, events []telemetry.Event, id
 	}
 
 	if rec.TraceRunID != "" && len(events) > 0 {
-		phaseBreakdown(out, events, rec.TraceRunID)
+		if !spanTimeline(out, events, rec) {
+			phaseBreakdown(out, events, rec.TraceRunID)
+		}
 	}
 	return nil
+}
+
+// spanTimeline renders the per-phase self-time timeline from the run's span
+// tree (telemetry.PhaseBreakdown): self times are exclusive of child spans,
+// parallel children are interval-merged, and the rows sum to the request's
+// root-span duration — directly comparable to the recorded wall time. The
+// record's root span ID carves this request's subtree out of a trace run
+// shared by several requests against one cached optimizer.
+//
+// Returns false when the sink carries no span events for the run (a pre-span
+// sink); the caller then falls back to the heuristic scope grouping.
+func spanTimeline(out io.Writer, events []telemetry.Event, rec *runlog.Record) bool {
+	var runEvents []telemetry.Event
+	spans := 0
+	for _, e := range events {
+		if e.Run != rec.TraceRunID {
+			continue
+		}
+		runEvents = append(runEvents, e)
+		if e.Span != 0 {
+			spans++
+		}
+	}
+	if spans == 0 {
+		return false
+	}
+	rows, total := telemetry.PhaseBreakdown(runEvents, rec.RootSpan)
+	if len(rows) == 0 {
+		return false
+	}
+	fmt.Fprintf(out, "\nper-phase timeline (%d spans; self times sum to %s of %s recorded wall time)\n",
+		spans, fmtSec(total.Seconds()), fmtSec(rec.SolveSec))
+	fmt.Fprintf(out, "  %-12s %6s %10s %10s %6s  %s\n", "phase", "spans", "total", "self", "self%", "")
+	for _, r := range rows {
+		frac := 0.0
+		if total > 0 {
+			frac = r.Self.Seconds() / total.Seconds()
+		}
+		bar := strings.Repeat("#", int(frac*24+0.5))
+		fmt.Fprintf(out, "  %-12s %6d %10s %10s %5.1f%%  %s\n",
+			r.Phase, r.Spans, fmtSec(r.Total.Seconds()), fmtSec(r.Self.Seconds()), 100*frac, bar)
+	}
+	return true
 }
 
 // phaseBreakdown groups the run's trace events by scope and reports where

@@ -2,11 +2,18 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/runlog"
+	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden files")
@@ -23,6 +30,7 @@ func TestGoldenOutputs(t *testing.T) {
 		{"dashboard", []string{"-runs", "testdata/runs.jsonl"}, "testdata/dashboard.golden"},
 		{"workload", []string{"-runs", "testdata/runs.jsonl", "-workload", "q1-w001"}, "testdata/workload.golden"},
 		{"run", []string{"-runs", "testdata/runs.jsonl", "-trace", "testdata/trace.jsonl", "run-000002"}, "testdata/run.golden"},
+		{"run with spans", []string{"report", "-runs", "testdata/runs.jsonl", "-trace", "testdata/trace.jsonl", "run-000005"}, "testdata/runspan.golden"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -44,6 +52,133 @@ func TestGoldenOutputs(t *testing.T) {
 				t.Errorf("output differs from %s (re-bless with -update):\n--- got ---\n%s\n--- want ---\n%s", tc.golden, got, want)
 			}
 		})
+	}
+}
+
+// TestSpanTimelineSumsToWallTime pins the acceptance property of the span
+// timeline: the per-phase self times rendered for a spanned run sum to
+// within 5% of the record's recorded wall time.
+func TestSpanTimelineSumsToWallTime(t *testing.T) {
+	recs, err := runlog.Load("testdata/runs.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec *runlog.Record
+	for i := range recs {
+		if recs[i].ID == "run-000005" {
+			rec = &recs[i]
+		}
+	}
+	if rec == nil {
+		t.Fatal("fixture run-000005 missing")
+	}
+	events, err := loadTrace("testdata/trace.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runEvents []telemetry.Event
+	for _, e := range events {
+		if e.Run == rec.TraceRunID {
+			runEvents = append(runEvents, e)
+		}
+	}
+	rows, total := telemetry.PhaseBreakdown(runEvents, rec.RootSpan)
+	if len(rows) == 0 {
+		t.Fatal("no span rows from fixture")
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Self.Seconds()
+	}
+	if diff := sum - total.Seconds(); diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("self times sum %.9f != tree total %.9f", sum, total.Seconds())
+	}
+	if rel := (rec.SolveSec - sum) / rec.SolveSec; rel < 0 || rel > 0.05 {
+		t.Fatalf("self-time sum %.4fs vs recorded wall %.4fs: off by %.1f%%", sum, rec.SolveSec, 100*rel)
+	}
+}
+
+// TestWatchGolden renders one watch-dashboard frame from static fixtures.
+func TestWatchGolden(t *testing.T) {
+	f, err := os.Open("testdata/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	metrics, err := parseProm(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := os.ReadFile("testdata/alerts.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Alerts []watch.Alert `json:"alerts"`
+	}
+	if err := json.Unmarshal(ab, &body); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	renderWatch(&buf, "http://udao-server.test", metrics, body.Alerts)
+	const golden = "testdata/watch.golden"
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("watch frame differs from %s (re-bless with -update):\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestWatchCmdLive drives the watch subcommand against a stub server.
+func TestWatchCmdLive(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		b, _ := os.ReadFile("testdata/metrics.prom")
+		w.Write(b)
+	})
+	mux.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		b, _ := os.ReadFile("testdata/alerts.json")
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"watch", "-url", ts.URL, "-n", "1", "-no-clear"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"udao watch — " + ts.URL, "alert-000003", "hv_drop_streak", "phase self time", "burn 22%"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("watch output missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	// A server without a watchdog (503 on /alerts) degrades to "none".
+	mux2 := http.NewServeMux()
+	mux2.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		b, _ := os.ReadFile("testdata/metrics.prom")
+		w.Write(b)
+	})
+	mux2.HandleFunc("/alerts", func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "watchdog disabled", http.StatusServiceUnavailable)
+	})
+	ts2 := httptest.NewServer(mux2)
+	defer ts2.Close()
+	buf.Reset()
+	if err := run([]string{"watch", "-url", ts2.URL, "-n", "1", "-no-clear"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "none") {
+		t.Errorf("watchdog-less server should render no alerts:\n%s", buf.String())
 	}
 }
 

@@ -81,6 +81,14 @@ type Options struct {
 	// the uncertain-fraction gauge.
 	Telemetry *telemetry.Telemetry
 	RunID     string
+	// Workload, when set, additionally labels the uncertain-fraction gauge
+	// per workload (udao_pf_uncertain_frac{workload="..."}), so interleaved
+	// workloads stop clobbering each other's last reading.
+	Workload string
+	// ParentSpan nests this run's expand spans under an enclosing span (the
+	// service's per-request root). Mutable across requests via
+	// Run.SetParentSpan.
+	ParentSpan uint64
 }
 
 // Snapshot reports the state of a PF run after a probe.
@@ -228,12 +236,13 @@ type run struct {
 	retryCOs []solver.CO
 
 	// Telemetry instruments (nil when Options.Telemetry is nil).
-	telProbes    *telemetry.Counter
-	telUncertain *telemetry.Gauge
-	telArena     *telemetry.Counter
-	tracer       *telemetry.Tracer
-	lastProbes   int    // probes already flushed to telProbes
-	lastReuses   uint64 // arena reuses already flushed to telArena
+	telProbes     *telemetry.Counter
+	telUncertain  *telemetry.Gauge
+	telUncertainW *telemetry.Gauge // per-workload series (nil without Workload)
+	telArena      *telemetry.Counter
+	tracer        *telemetry.Tracer
+	lastProbes    int    // probes already flushed to telProbes
+	lastReuses    uint64 // arena reuses already flushed to telArena
 }
 
 // newRunState builds the shared state, resolving telemetry instruments once.
@@ -242,6 +251,9 @@ func newRunState(s solver.Solver, opt Options) *run {
 	if tel := opt.Telemetry; tel != nil {
 		r.telProbes = tel.Metrics.Counter(telemetry.MetricPFProbes)
 		r.telUncertain = tel.Metrics.Gauge(telemetry.MetricPFUncertain)
+		if opt.Workload != "" {
+			r.telUncertainW = tel.Metrics.Gauge(telemetry.Labeled(telemetry.MetricPFUncertain, "workload", opt.Workload))
+		}
 		r.telArena = tel.Metrics.Counter(telemetry.MetricPFArenaReuse)
 		r.tracer = tel.Trace
 	}
@@ -332,6 +344,9 @@ func (r *run) observe() {
 	}
 	frac := r.uncertainFrac()
 	r.telUncertain.Set(frac)
+	if r.telUncertainW != nil {
+		r.telUncertainW.Set(frac)
+	}
 	if r.tracer.Enabled(telemetry.LevelRun) {
 		var evals uint64
 		if ec, ok := r.s.(evalCounter); ok {

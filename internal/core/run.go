@@ -65,11 +65,21 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 	if u.st != nil {
 		startProbes = u.st.probes
 	}
+	// One span per Expand call, nested under the request's root span (if
+	// any); the solver's per-solve spans nest under it in turn.
+	var span telemetry.Span
+	if tel := u.opt.Telemetry; tel != nil {
+		span = tel.Trace.StartSpan(telemetry.LevelRun, u.opt.RunID, u.opt.ParentSpan, "pf", "expand")
+		if ss, ok := s.(spanScoped); ok {
+			ss.SetParentSpan(span.ID())
+		}
+	}
 	if !u.started {
 		u.started = true
 		u.st = newRunState(s, u.opt)
 		plans, err := referencePoints(s, u.opt)
 		if err != nil {
+			span.End("error", nil)
 			return nil, err
 		}
 		u.st.plans = plans
@@ -77,7 +87,7 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 		rect, ok := initialRect(plans)
 		if !ok {
 			u.degenerate = true
-			u.finishExpand(t0, startProbes)
+			u.finishExpand(t0, startProbes, span)
 			return u.Frontier(), nil
 		}
 		u.st.initVol = rect.Volume()
@@ -88,6 +98,7 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 		u.st.start = time.Now()
 	}
 	if u.degenerate {
+		span.End("degenerate", nil)
 		return u.Frontier(), nil
 	}
 	for u.st.queue.Len() > 0 && u.st.probes < u.budget && !u.st.expired() {
@@ -97,14 +108,23 @@ func (u *Run) Expand(probes int) ([]objective.Solution, error) {
 			u.st.stepSequential()
 		}
 	}
-	u.finishExpand(t0, startProbes)
+	u.finishExpand(t0, startProbes, span)
 	return u.Frontier(), nil
 }
 
+// spanScoped is the optional solver capability Run uses to nest the solver's
+// per-solve spans under the current expand span.
+type spanScoped interface{ SetParentSpan(id uint64) }
+
+// SetParentSpan re-parents the spans of subsequent Expand calls — the service
+// calls this per request so a cached run's timing lands under the right
+// request root.
+func (u *Run) SetParentSpan(id uint64) { u.opt.ParentSpan = id }
+
 // finishExpand closes one Expand call: it appends the step to the run's
-// history and, with telemetry attached, closes the telemetry span — the
-// probes invested, the resulting frontier size and the uncertain space left.
-func (u *Run) finishExpand(t0 time.Time, startProbes int) {
+// history and, with telemetry attached, ends the expand span — the probes
+// invested, the resulting frontier size and the uncertain space left.
+func (u *Run) finishExpand(t0 time.Time, startProbes int, span telemetry.Span) {
 	st := u.st
 	if st == nil {
 		return
@@ -135,19 +155,13 @@ func (u *Run) finishExpand(t0 time.Time, startProbes int) {
 	if tel := u.opt.Telemetry; tel != nil {
 		tel.Metrics.Counter(telemetry.MetricPFExpansions).Add(1)
 	}
-	if st.tracer.Enabled(telemetry.LevelRun) {
-		st.tracer.Emit(telemetry.LevelRun, telemetry.Event{
-			Run: u.opt.RunID, Scope: "pf", Name: "expand",
-			Dur: time.Since(t0),
-			Attrs: map[string]float64{
-				"probes":         float64(st.probes - startProbes),
-				"total_probes":   float64(st.probes),
-				"frontier":       float64(frontier),
-				"uncertain_frac": st.uncertainFrac(),
-				"degenerate":     boolAttr(u.degenerate),
-			},
-		})
-	}
+	span.End("", map[string]float64{
+		"probes":         float64(st.probes - startProbes),
+		"total_probes":   float64(st.probes),
+		"frontier":       float64(frontier),
+		"uncertain_frac": st.uncertainFrac(),
+		"degenerate":     boolAttr(u.degenerate),
+	})
 }
 
 // History returns one step per Expand call so far (a copy) — the §IV-A

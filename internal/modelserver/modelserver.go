@@ -108,6 +108,30 @@ type Server struct {
 	telTrain  *telemetry.Counter
 	telTrainH *telemetry.Histogram
 	tracer    *telemetry.Tracer
+
+	// Trace context: the run ID and parent span the next trainings are
+	// attributed to. The server is shared across requests, so the service
+	// sets this per /optimize; concurrent requests overwrite each other and
+	// the latest setter wins — attribution, not isolation.
+	spanMu     sync.Mutex
+	spanRun    string
+	spanParent uint64
+}
+
+// SetTraceContext attributes subsequent trainings to the given trace run and
+// parent span (both zero values detach). The service calls this around
+// optimizer construction so model (re)training shows up inside the request's
+// span tree.
+func (s *Server) SetTraceContext(run string, parent uint64) {
+	s.spanMu.Lock()
+	s.spanRun, s.spanParent = run, parent
+	s.spanMu.Unlock()
+}
+
+func (s *Server) traceContext() (string, uint64) {
+	s.spanMu.Lock()
+	defer s.spanMu.Unlock()
+	return s.spanRun, s.spanParent
 }
 
 // New builds a server over the store.
@@ -166,6 +190,8 @@ func (s *Server) Model(workload, objective string) (model.Model, error) {
 		return cached.m, nil
 	}
 	trainStart := time.Now()
+	run, parent := s.traceContext()
+	span := s.tracer.StartSpan(telemetry.LevelRun, run, parent, "model", "train")
 	X, y, err := dataset(entries, objective, s.spc.Dim())
 	if err != nil {
 		return nil, err
@@ -209,12 +235,8 @@ func (s *Server) Model(workload, objective string) (model.Model, error) {
 		dur := time.Since(trainStart)
 		s.telTrain.Add(1)
 		s.telTrainH.Observe(dur.Seconds())
-		if s.tracer.Enabled(telemetry.LevelRun) {
-			s.tracer.Emit(telemetry.LevelRun, telemetry.Event{
-				Scope: "model", Name: "train", Detail: workload + "/" + objective,
-				Dur:   dur,
-				Attrs: map[string]float64{"traces": float64(len(entries))},
-			})
+		if span.Recording() {
+			span.End(workload+"/"+objective, map[string]float64{"traces": float64(len(entries))})
 		}
 	}
 	return m, nil

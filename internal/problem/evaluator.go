@@ -101,7 +101,14 @@ type Evaluator struct {
 	telBatchPts *telemetry.Counter
 	tracer      *telemetry.Tracer
 	runID       string
+	// parentSpan nests batch-eval spans under the enclosing request span;
+	// set via SetParentSpan by whoever owns the request (udao.Optimizer).
+	parentSpan atomic.Uint64
 }
+
+// SetParentSpan re-parents subsequent eval-batch spans under the given span
+// ID (0 detaches).
+func (e *Evaluator) SetParentSpan(id uint64) { e.parentSpan.Store(id) }
 
 // NewEvaluator builds an evaluator over the problem.
 func NewEvaluator(p *Problem, opts Options) *Evaluator {
@@ -249,15 +256,13 @@ func (e *Evaluator) EvalBatch(xs [][]float64) []objective.Point {
 	}
 	if e.telBatches != nil {
 		start := time.Now()
+		span := e.tracer.StartSpan(telemetry.LevelVerbose, e.runID, e.parentSpan.Load(), "eval", "batch")
 		defer func() {
 			dur := time.Since(start)
 			e.telBatches.Add(1)
 			e.telBatchH.Observe(dur.Seconds())
-			if e.tracer.Enabled(telemetry.LevelVerbose) {
-				e.tracer.Emit(telemetry.LevelVerbose, telemetry.Event{
-					Run: e.runID, Scope: "eval", Name: "batch", Dur: dur,
-					Attrs: map[string]float64{"points": float64(len(xs))},
-				})
+			if span.Recording() {
+				span.End("", map[string]float64{"points": float64(len(xs))})
 			}
 		}()
 	}

@@ -127,6 +127,18 @@ type Record struct {
 	Expands    []ExpandStep `json:"expands,omitempty"`
 
 	TraceRunID string `json:"trace_run_id,omitempty"`
+
+	// RootSpan is the span ID of this request's root span. Cached optimizers
+	// keep one trace run ID across many requests; the root span ID is what
+	// isolates this record's subtree in the shared event stream (span IDs are
+	// process-unique and strictly increasing).
+	RootSpan uint64 `json:"root_span,omitempty"`
+
+	// PhaseBreakdown maps phase labels ("service", "pf", "mogd", "eval",
+	// "model", "stage:<name>") to per-phase self time in seconds, computed
+	// from the request's span subtree. Self times sum to approximately
+	// SolveSec; absent when tracing was off for the run.
+	PhaseBreakdown map[string]float64 `json:"phase_breakdown,omitempty"`
 }
 
 // Options tunes a registry.

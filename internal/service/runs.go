@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/runlog"
+	"repro/internal/watch"
 )
 
 // RunSummary is the /runs list view of one registry record — enough to spot
@@ -54,11 +55,38 @@ type QualityPoint struct {
 //	GET /runs                       list recorded runs (?workload=, ?limit=, ?since=RFC3339)
 //	GET /runs/{id}                  one full record (frontier, quality, counters)
 //	GET /workloads/{name}/quality   quality-over-time series for one workload
-//	GET /healthz                    liveness (process up)
-//	GET /readyz                     readiness (model server reachable, registry writable)
+//	GET /alerts                     recent watchdog alerts, newest first (?limit=)
+//	GET /healthz                    liveness (process up, watchdog sweep counters)
+//	GET /readyz                     readiness (model server reachable, registry and alert log writable)
 func (s *Service) registerObservability(mux *http.ServeMux) {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		out := map[string]any{"status": "ok"}
+		if s.Watch != nil {
+			wd := map[string]any{"evals": s.Watch.Evals()}
+			if t := s.Watch.LastEval(); !t.IsZero() {
+				wd["last_eval"] = t.Format(time.RFC3339)
+			}
+			out["watchdog"] = wd
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /alerts", func(w http.ResponseWriter, r *http.Request) {
+		if s.Watch == nil {
+			http.Error(w, "watchdog disabled", http.StatusServiceUnavailable)
+			return
+		}
+		limit := 0
+		if v := r.URL.Query().Get("limit"); v != "" {
+			if _, err := fmt.Sscanf(v, "%d", &limit); err != nil || limit < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+		}
+		alerts := s.Watch.Alerts(limit)
+		if alerts == nil {
+			alerts = []watch.Alert{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"alerts": alerts})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		status, report := s.readiness()
@@ -152,6 +180,14 @@ func (s *Service) readiness() (int, map[string]any) {
 			ready = false
 		} else {
 			checks["runlog"] = "ok"
+		}
+	}
+	if s.Watch != nil {
+		if err := s.Watch.Err(); err != nil {
+			checks["alertlog"] = err.Error()
+			ready = false
+		} else {
+			checks["alertlog"] = "ok"
 		}
 	}
 	status := http.StatusOK

@@ -19,6 +19,7 @@ import (
 	"repro/internal/modelserver"
 	"repro/internal/runlog"
 	"repro/internal/telemetry"
+	"repro/internal/watch"
 )
 
 // DefaultSLO is the solve-latency objective the per-workload SLO counters
@@ -45,6 +46,10 @@ type Service struct {
 	Logger    *slog.Logger
 	Runs      *runlog.Registry
 	SLO       time.Duration
+	// Watch, when non-nil, is the SLO/drift watchdog: its alerts are served
+	// over GET /alerts, its liveness appears in /healthz, and /readyz gates
+	// on its alert log staying writable.
+	Watch *watch.Watchdog
 
 	mu         sync.Mutex
 	optimizers map[string]*udao.Optimizer // keyed by workload+objectives
@@ -142,7 +147,7 @@ func (s *Service) resolveFor(workload string, names []string) ([]udao.Objective,
 // one stage per listed workload over the full server knob space (so the
 // server's models fit the stage sub-spaces unchanged), shared knobs tied,
 // learned objectives summed across stages, exact objectives contributed once.
-func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int) (*udao.Optimizer, error) {
+func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int, runID string, root telemetry.Span) (*udao.Optimizer, error) {
 	spc := s.Server.Space()
 	var shared []udao.Var
 	if len(req.SharedKnobs) == 0 {
@@ -194,7 +199,19 @@ func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int) (*udao.Opti
 			ms[0] = m
 		} else {
 			for i := range stages {
+				// Per-stage span around the model fetch: lazy training is the
+				// dominant cost of a cold pipeline request, and breaking it out
+				// per stage shows which stage's model the request paid for.
+				var sp telemetry.Span
+				if s.Telemetry != nil {
+					sp = s.Telemetry.Trace.StartSpan(telemetry.LevelRun, runID, root.ID(), "stage", stages[i].Name)
+					s.Server.SetTraceContext(runID, sp.ID())
+				}
 				m, err := s.Server.Model(req.Stages[i], n)
+				if s.Telemetry != nil {
+					sp.End(n, nil)
+					s.Server.SetTraceContext(runID, root.ID())
+				}
 				if err != nil {
 					return nil, err
 				}
@@ -210,7 +227,7 @@ func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int) (*udao.Opti
 	// The composite search space grows with the stage count; scale MOGD's
 	// multi-start budget with it so frontier diversity doesn't collapse on
 	// the concatenated encoding.
-	return udao.NewPipelineOptimizer(c, objs, udao.Options{Probes: probes, Starts: 8 * len(stages), Seed: s.Seed, Telemetry: s.Telemetry})
+	return udao.NewPipelineOptimizer(c, objs, udao.Options{Probes: probes, Starts: 8 * len(stages), Seed: s.Seed, Telemetry: s.Telemetry, RunID: runID, Workload: req.Workload})
 }
 
 // Optimize computes a frontier (cached per workload+objectives+stages, so
@@ -236,6 +253,27 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	s.mu.Lock()
 	opt, ok := s.optimizers[key]
 	s.mu.Unlock()
+	// Root span of this request: everything the solve path does — model
+	// (re)training, PF expands, MOGD solves — nests under it, which is what
+	// the per-phase breakdown and udao-traceview's timeline are computed
+	// from. Cached optimizers keep their run ID across requests; the root
+	// span ID isolates this request's subtree.
+	var root telemetry.Span
+	runID := ""
+	if s.Telemetry != nil {
+		if ok {
+			runID = opt.RunID()
+		} else {
+			runID = s.Telemetry.NextRunID("opt")
+		}
+		root = s.Telemetry.Trace.StartSpan(telemetry.LevelRun, runID, 0, "service", "optimize")
+		s.Server.SetTraceContext(runID, root.ID())
+		defer s.Server.SetTraceContext("", 0)
+	}
+	fail := func(err error) (*OptimizeResponse, error) {
+		root.End("error", nil)
+		return nil, err
+	}
 	if !ok {
 		probes := req.Probes
 		if probes == 0 {
@@ -243,29 +281,31 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 		}
 		var err error
 		if len(req.Stages) > 0 {
-			opt, err = s.pipelineOptimizer(req, probes)
+			opt, err = s.pipelineOptimizer(req, probes, runID, root)
 		} else {
 			var objs []udao.Objective
 			objs, err = s.resolveFor(req.Workload, req.Objectives)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			opt, err = udao.NewOptimizer(s.Server.Space(), objs, udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry})
+			opt, err = udao.NewOptimizer(s.Server.Space(), objs,
+				udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry, RunID: runID, Workload: req.Workload})
 		}
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		s.mu.Lock()
 		s.optimizers[key] = opt
 		s.mu.Unlock()
 	}
+	opt.SetParentSpan(root.ID())
 	front, err := opt.ParetoFrontier()
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	plan, err := opt.Recommend(udao.WUN, req.Weights)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	uncertain, _ := opt.UncertainSpace()
 	spc := opt.Space()
@@ -307,12 +347,35 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 			TraceEvents: len(s.Telemetry.Trace.Events(opt.RunID())),
 		}
 	}
+	root.End("", nil)
 	solveDur := time.Since(start)
 	s.observeSolve(req.Workload, solveDur)
+	phases := s.phaseBreakdown(runID, root.ID())
 	if s.Runs != nil {
-		resp.RunRecord = s.record(req, opt, resp, uncertain, misses, solveDur)
+		resp.RunRecord = s.record(req, opt, resp, uncertain, misses, solveDur, root.ID(), phases)
 	}
 	return resp, nil
+}
+
+// phaseBreakdown computes this request's per-phase self times from its span
+// subtree, feeds the per-phase histograms, and returns the seconds map the
+// run record persists (nil when tracing is off).
+func (s *Service) phaseBreakdown(runID string, rootSpan uint64) map[string]float64 {
+	if s.Telemetry == nil || rootSpan == 0 {
+		return nil
+	}
+	rows, _ := telemetry.PhaseBreakdown(s.Telemetry.Trace.Events(runID), rootSpan)
+	if len(rows) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(rows))
+	m := s.Telemetry.Metrics
+	for _, r := range rows {
+		sec := r.Self.Seconds()
+		out[r.Phase] = sec
+		m.Histogram(telemetry.Labeled(telemetry.MetricPhaseSeconds, "phase", r.Phase), "", nil).Observe(sec)
+	}
+	return out
 }
 
 // slo returns the configured solve-latency objective.
@@ -345,7 +408,7 @@ func (s *Service) observeSolve(workload string, d time.Duration) {
 // the disk write buffered off the hot path by the registry) and exports the
 // frontier-quality gauges. It returns the assigned record ID ("" when the
 // append failed — recording never fails a served answer).
-func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *OptimizeResponse, uncertain float64, misses uint64, solveDur time.Duration) string {
+func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *OptimizeResponse, uncertain float64, misses uint64, solveDur time.Duration, rootSpan uint64, phases map[string]float64) string {
 	spc := opt.Space()
 	vars := make([]string, len(spc.Vars))
 	for i, v := range spc.Vars {
@@ -372,21 +435,23 @@ func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *Optimiz
 		})
 	}
 	rec := runlog.Record{
-		Workload:    req.Workload,
-		Objectives:  objectives,
-		Weights:     req.Weights,
-		Probes:      req.Probes,
-		Space:       runlog.SpaceInfo{Vars: vars, Dim: spc.Dim()},
-		Frontier:    front,
-		Recommended: resp.Config,
-		Objective:   resp.Objectives,
-		Quality:     runlog.Quality{UncertainFrac: uncertain},
-		Evals:       resp.ModelEvals,
-		MemoHits:    resp.MemoHits,
-		MemoMisses:  misses,
-		SolveSec:    solveDur.Seconds(),
-		Expands:     expands,
-		TraceRunID:  opt.RunID(),
+		Workload:       req.Workload,
+		Objectives:     objectives,
+		Weights:        req.Weights,
+		Probes:         req.Probes,
+		Space:          runlog.SpaceInfo{Vars: vars, Dim: spc.Dim()},
+		Frontier:       front,
+		Recommended:    resp.Config,
+		Objective:      resp.Objectives,
+		Quality:        runlog.Quality{UncertainFrac: uncertain},
+		Evals:          resp.ModelEvals,
+		MemoHits:       resp.MemoHits,
+		MemoMisses:     misses,
+		SolveSec:       solveDur.Seconds(),
+		Expands:        expands,
+		TraceRunID:     opt.RunID(),
+		RootSpan:       rootSpan,
+		PhaseBreakdown: phases,
 	}
 	if comp := opt.CompositeSpace(); comp != nil {
 		rec.Stages = make([]runlog.StageInfo, comp.NumStages())

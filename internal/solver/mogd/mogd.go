@@ -40,7 +40,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"repro/internal/linalg"
 	"repro/internal/model"
@@ -86,6 +85,11 @@ type Config struct {
 	// locally and flushed once per start.
 	Telemetry *telemetry.Telemetry
 	RunID     string
+	// Workload, when set together with Telemetry, additionally labels the
+	// subproblem-cache counters per workload
+	// (udao_mogd_subcache_hits_total{workload="..."}), so per-workload cache
+	// efficacy is visible alongside the global totals.
+	Workload string
 }
 
 // validate rejects explicitly invalid settings; zero stays "default".
@@ -160,8 +164,16 @@ type Solver struct {
 	telCacheHit  *telemetry.Counter
 	telCacheMiss *telemetry.Counter
 	telCacheRej  *telemetry.Counter
-	tracer       *telemetry.Tracer
-	runID        string
+	// Per-workload subcache series (nil without Config.Workload); the
+	// instruments are nil-safe so call sites never branch.
+	telCacheHitW  *telemetry.Counter
+	telCacheMissW *telemetry.Counter
+	telCacheRejW  *telemetry.Counter
+	tracer        *telemetry.Tracer
+	runID         string
+	// parentSpan is the span ID the next solve/solve_batch spans nest under,
+	// set per expand step by core.Run (and per batch by SolveBatch itself).
+	parentSpan atomic.Uint64
 }
 
 // New validates the problem and configuration and builds a solver with its
@@ -212,6 +224,11 @@ func NewOnEvaluator(ev *problem.Evaluator, cfg Config) (*Solver, error) {
 		s.telCacheHit = tel.Metrics.Counter(telemetry.MetricMOGDCacheHit)
 		s.telCacheMiss = tel.Metrics.Counter(telemetry.MetricMOGDCacheMiss)
 		s.telCacheRej = tel.Metrics.Counter(telemetry.MetricMOGDCacheRej)
+		if cfg.Workload != "" {
+			s.telCacheHitW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheHit, "workload", cfg.Workload))
+			s.telCacheMissW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheMiss, "workload", cfg.Workload))
+			s.telCacheRejW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheRej, "workload", cfg.Workload))
+		}
 		s.tracer = tel.Trace
 		s.runID = cfg.RunID
 	}
@@ -531,12 +548,16 @@ func (s *Solver) solveAllStarts(co solver.CO, seed int64, sc *solveScratch) {
 // passes — bit-identical to re-solving, see Config.CacheCap.
 func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 	s.checkBounds(co)
-	if sol, ok, hit := s.cacheGet(co, seed); hit {
-		return sol, ok
-	}
-	var t0 time.Time
+	// The solve span covers cache lookup and descent alike; a replay ends it
+	// immediately with the "cache_replay" detail, so the timeline attributes
+	// replayed probes to the mogd phase without hiding that they were cheap.
+	var span telemetry.Span
 	if s.telSolves != nil {
-		t0 = time.Now()
+		span = s.tracer.StartSpan(telemetry.LevelRun, s.runID, s.parentSpan.Load(), "mogd", "solve")
+	}
+	if sol, ok, hit := s.cacheGet(co, seed); hit {
+		span.End("cache_replay", nil)
+		return sol, ok
 	}
 	sc := s.scratch.Get().(*solveScratch)
 	s.solveAllStarts(co, seed, sc)
@@ -560,16 +581,16 @@ func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 		sol = objective.Solution{}
 	}
 	if s.telSolves != nil {
-		s.observeSolve(co, sc.res, sol, found, time.Since(t0))
+		s.observeSolve(co, sc.res, sol, found, span)
 	}
 	s.scratch.Put(sc)
 	s.cachePut(co, seed, sol, found)
 	return sol, found
 }
 
-// observeSolve flushes one Solve's telemetry: aggregate counters plus a
-// LevelRun trace event carrying the convergence outcome.
-func (s *Solver) observeSolve(co solver.CO, results []startResult, sol objective.Solution, found bool, dur time.Duration) {
+// observeSolve flushes one Solve's telemetry: aggregate counters plus the
+// solve span end (a LevelRun event) carrying the convergence outcome.
+func (s *Solver) observeSolve(co solver.CO, results []startResult, sol objective.Solution, found bool, span telemetry.Span) {
 	iters, clamps, feasible := 0, 0, 0
 	for i := range results {
 		iters += results[i].iters
@@ -586,7 +607,7 @@ func (s *Solver) observeSolve(co solver.CO, results []startResult, sol objective
 		s.telInfeas.Add(1)
 		reason = "no_feasible_point"
 	}
-	if s.tracer.Enabled(telemetry.LevelRun) {
+	if span.Recording() {
 		attrs := map[string]float64{
 			"target": float64(co.Target), "starts": float64(len(results)),
 			"iters": float64(iters), "clamps": float64(clamps),
@@ -595,9 +616,7 @@ func (s *Solver) observeSolve(co solver.CO, results []startResult, sol objective
 		if found {
 			attrs["best"] = sol.F[co.Target]
 		}
-		s.tracer.Emit(telemetry.LevelRun, telemetry.Event{
-			Run: s.runID, Scope: "mogd", Name: "solve", Detail: reason, Dur: dur, Attrs: attrs,
-		})
+		span.End(reason, attrs)
 	}
 }
 
@@ -607,6 +626,10 @@ func b2f(b bool) float64 {
 	}
 	return 0
 }
+
+// SetParentSpan re-parents subsequent solve/solve_batch spans — core.Run
+// calls this per expand so solver timing nests under the right expand span.
+func (s *Solver) SetParentSpan(id uint64) { s.parentSpan.Store(id) }
 
 // checkBounds panics on malformed CO problems (a programming error, matching
 // the solver.Solver contract).
@@ -665,19 +688,19 @@ func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
 	for _, co := range cos {
 		s.checkBounds(co)
 	}
-	if s.tracer.Enabled(telemetry.LevelRun) {
-		start := time.Now()
+	if span := s.tracer.StartSpan(telemetry.LevelRun, s.runID, s.parentSpan.Load(), "mogd", "solve_batch"); span.Recording() {
+		// Inner solves nest under the batch span; the previous parent (the
+		// enclosing expand span) is restored when the batch completes.
+		outer := s.parentSpan.Swap(span.ID())
 		defer func() {
+			s.parentSpan.Store(outer)
 			ok := 0
 			for _, r := range out {
 				if r.OK {
 					ok++
 				}
 			}
-			s.tracer.Emit(telemetry.LevelRun, telemetry.Event{
-				Run: s.runID, Scope: "mogd", Name: "solve_batch", Dur: time.Since(start),
-				Attrs: map[string]float64{"problems": float64(len(cos)), "feasible": float64(ok)},
-			})
+			span.End("", map[string]float64{"problems": float64(len(cos)), "feasible": float64(ok)})
 		}()
 	}
 	var next int64 = -1
@@ -782,6 +805,7 @@ func (s *Solver) cacheGet(co solver.CO, seed int64) (objective.Solution, bool, b
 		c.misses++
 		c.mu.Unlock()
 		s.telCacheMiss.Add(1)
+		s.telCacheMissW.Add(1)
 		return objective.Solution{}, false, false
 	}
 	e := el.Value.(*cacheEntry)
@@ -792,7 +816,9 @@ func (s *Solver) cacheGet(co solver.CO, seed int64) (objective.Solution, bool, b
 		c.misses++
 		c.mu.Unlock()
 		s.telCacheRej.Add(1)
+		s.telCacheRejW.Add(1)
 		s.telCacheMiss.Add(1)
+		s.telCacheMissW.Add(1)
 		return objective.Solution{}, false, false
 	}
 	c.lru.MoveToFront(el)
@@ -801,6 +827,7 @@ func (s *Solver) cacheGet(co solver.CO, seed int64) (objective.Solution, bool, b
 	c.hits++
 	c.mu.Unlock()
 	s.telCacheHit.Add(1)
+	s.telCacheHitW.Add(1)
 	return sol, ok, true
 }
 

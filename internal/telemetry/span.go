@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+)
+
+// Span is a lightweight handle for one timed region of a solve. Spans are
+// value types: StartSpan allocates nothing, and End emits a single Event
+// carrying the span's ID, its parent's ID and the measured duration — so the
+// existing ring buffer and JSONL sink double as the span store, and the
+// hot-path cost of an instrumented region is one atomic load (disabled) or
+// one ring write (enabled, 0 allocs/op when Attrs is nil).
+//
+// Span IDs are process-unique and strictly increasing (a child's ID is always
+// greater than its parent's), which lets readers carve one request's subtree
+// out of a run that spans several requests.
+type Span struct {
+	tracer *Tracer
+	level  Level
+	run    string
+	scope  string
+	name   string
+	id     uint64
+	parent uint64
+	start  time.Time
+}
+
+// StartSpan opens a span under the given parent ID (0 = root). If level l is
+// not enabled the returned span is inert: ID() is 0 and End is a no-op, so
+// callers never branch on the trace level themselves.
+func (t *Tracer) StartSpan(l Level, run string, parent uint64, scope, name string) Span {
+	if !t.Enabled(l) {
+		return Span{}
+	}
+	return Span{
+		tracer: t,
+		level:  l,
+		run:    run,
+		scope:  scope,
+		name:   name,
+		id:     t.spanSeq.Add(1),
+		parent: parent,
+		start:  time.Now(),
+	}
+}
+
+// ID returns the span's process-unique identifier, or 0 for an inert span.
+// Pass it as the parent argument of StartSpan to nest.
+func (s Span) ID() uint64 { return s.id }
+
+// Recording reports whether the span was actually opened (the tracer level
+// was enabled at StartSpan time).
+func (s Span) Recording() bool { return s.id != 0 }
+
+// End closes the span, emitting one Event with the measured duration. Detail
+// and attrs follow the Event conventions; attrs may be nil (the common case —
+// then End allocates nothing beyond the ring write).
+func (s Span) End(detail string, attrs map[string]float64) {
+	if s.id == 0 {
+		return
+	}
+	s.tracer.Emit(s.level, Event{
+		Run:    s.run,
+		Scope:  s.scope,
+		Name:   s.name,
+		Detail: detail,
+		Dur:    time.Since(s.start),
+		Attrs:  attrs,
+		Span:   s.id,
+		Parent: s.parent,
+	})
+}
+
+// PhaseTime is one row of a per-phase breakdown: how much wall time a trace
+// scope spent exclusive of its child spans.
+type PhaseTime struct {
+	Phase string        // trace scope ("service", "pf", "mogd", ...)
+	Spans int           // number of spans aggregated into this row
+	Total time.Duration // summed span durations (inclusive of children)
+	Self  time.Duration // summed self time (duration minus child coverage)
+}
+
+// PhaseBreakdown computes per-scope self times from span-carrying events.
+//
+// Self time of a span is its duration minus the wall-clock coverage of its
+// direct children — overlapping children (a parallel solve batch) are merged
+// as intervals first, so concurrent child work is never double-counted and
+// the self times of a tree sum to exactly the root span's duration (clamped
+// at interval boundaries against timing skew). That property is what makes
+// the breakdown comparable to the run's recorded wall time.
+//
+// If root is nonzero only the subtree below (and including) that span ID is
+// aggregated — the way to isolate one request when a cached optimizer's run
+// ID spans several. With root == 0 every span in events is aggregated and
+// Total is the summed duration of all parentless spans.
+//
+// Returns the per-phase rows (sorted by descending self time, ties by phase
+// name) and the wall-clock total the self times sum to.
+func PhaseBreakdown(events []Event, root uint64) ([]PhaseTime, time.Duration) {
+	nodes := make(map[uint64]spanInterval, len(events))
+	for _, e := range events {
+		if e.Span == 0 || e.Dur <= 0 {
+			continue
+		}
+		nodes[e.Span] = spanInterval{scope: PhaseKey(e.Scope, e.Name), start: e.Time.Add(-e.Dur), end: e.Time, parent: e.Parent}
+	}
+	if len(nodes) == 0 {
+		return nil, 0
+	}
+
+	// Restrict to the requested subtree by walking parent links.
+	inTree := func(id uint64) bool { return true }
+	if root != 0 {
+		memo := make(map[uint64]bool, len(nodes))
+		var walk func(id uint64) bool
+		walk = func(id uint64) bool {
+			if id == root {
+				return true
+			}
+			if v, ok := memo[id]; ok {
+				return v
+			}
+			n, ok := nodes[id]
+			if !ok || n.parent == 0 || n.parent == id {
+				memo[id] = false
+				return false
+			}
+			memo[id] = false // cycle guard
+			v := walk(n.parent)
+			memo[id] = v
+			return v
+		}
+		inTree = func(id uint64) bool { return walk(id) }
+	}
+
+	children := make(map[uint64][]spanInterval, len(nodes))
+	for id, n := range nodes {
+		if !inTree(id) {
+			continue
+		}
+		if _, ok := nodes[n.parent]; ok && n.parent != id && (root == 0 || id != root) {
+			children[n.parent] = append(children[n.parent], n)
+		}
+	}
+
+	agg := make(map[string]*PhaseTime)
+	var total time.Duration
+	for id, n := range nodes {
+		if !inTree(id) {
+			continue
+		}
+		row := agg[n.scope]
+		if row == nil {
+			row = &PhaseTime{Phase: n.scope}
+			agg[n.scope] = row
+		}
+		dur := n.end.Sub(n.start)
+		row.Spans++
+		row.Total += dur
+		row.Self += dur - coverage(children[id], n.start, n.end)
+		isRoot := id == root
+		if root == 0 {
+			_, hasParent := nodes[n.parent]
+			isRoot = n.parent == 0 || n.parent == id || !hasParent
+		}
+		if isRoot {
+			total += dur
+		}
+	}
+
+	rows := make([]PhaseTime, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Self != rows[j].Self {
+			return rows[i].Self > rows[j].Self
+		}
+		return rows[i].Phase < rows[j].Phase
+	})
+	return rows, total
+}
+
+// PhaseKey maps a span's (scope, name) to its phase label. Phases follow the
+// trace scope ("service", "pf", "mogd", "eval", "model"), except the "stage"
+// scope of pipeline requests, which stays broken out per stage name
+// ("stage:etl") so a pipeline run's breakdown shows each stage's share.
+func PhaseKey(scope, name string) string {
+	if scope == "stage" && name != "" {
+		return scope + ":" + name
+	}
+	return scope
+}
+
+type spanInterval struct {
+	scope      string
+	start, end time.Time
+	parent     uint64
+}
+
+// coverage returns the wall-clock length of the union of the child intervals,
+// clipped to [lo, hi]. Children may overlap (parallel work) or spill slightly
+// past the parent (timing skew); both are handled by merging.
+func coverage(kids []spanInterval, lo, hi time.Time) time.Duration {
+	if len(kids) == 0 {
+		return 0
+	}
+	sort.Slice(kids, func(i, j int) bool { return kids[i].start.Before(kids[j].start) })
+	var covered time.Duration
+	cursor := lo
+	for _, k := range kids {
+		s, e := k.start, k.end
+		if s.Before(cursor) {
+			s = cursor
+		}
+		if e.After(hi) {
+			e = hi
+		}
+		if e.After(s) {
+			covered += e.Sub(s)
+			cursor = e
+		}
+	}
+	return covered
+}

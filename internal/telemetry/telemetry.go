@@ -68,6 +68,17 @@ const (
 	MetricRunRecordErrors     = "udao_run_record_errors_total"
 )
 
+// Span/phase and watchdog metric names (PR: span-attributed timelines +
+// watchdog). MetricPhaseSeconds appears per phase, e.g.
+// udao_phase_seconds{phase="mogd"} — the self-time (exclusive of child spans)
+// one /optimize call spent in that part of the stack.
+const (
+	MetricPhaseSeconds  = "udao_phase_seconds"
+	MetricWatchEvals    = "udao_watch_evals_total"
+	MetricWatchAlerts   = "udao_watch_alerts_total"
+	MetricWatchLastEval = "udao_watch_last_eval_unix"
+)
+
 // Telemetry bundles the two observability channels handed to instrumented
 // components: the metrics registry and the event trace. A nil *Telemetry is
 // valid everywhere and means "not instrumented".
@@ -119,6 +130,18 @@ func (t *Telemetry) registerStandard() {
 	r.Counter(MetricSolveSLOBreach, "solves that missed the latency SLO (also per workload)")
 	r.Counter(MetricRunRecords, "runs appended to the run registry")
 	r.Counter(MetricRunRecordErrors, "run-registry appends that failed")
+	r.Histogram(MetricPhaseSeconds, "per-phase self time of one /optimize call in seconds (per phase label)", nil)
+	r.Counter(MetricWatchEvals, "watchdog rule-evaluation sweeps completed")
+	r.Counter(MetricWatchAlerts, "watchdog alerts raised (also per rule)")
+	r.Gauge(MetricWatchLastEval, "unix time of the watchdog's last rule evaluation")
+}
+
+// Labeled renders the conventional single-label series name,
+// e.g. Labeled(MetricSolveLatency, "workload", "q1") =
+// `udao_solve_seconds{workload="q1"}`. The registry groups labeled series
+// with their base family on /metrics (see baseName).
+func Labeled(name, label, value string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, label, value)
 }
 
 // NextRunID returns a fresh process-unique run identifier with the given

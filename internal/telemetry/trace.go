@@ -38,14 +38,22 @@ type Event struct {
 	Detail string             `json:"detail,omitempty"`
 	Dur    time.Duration      `json:"dur_ns,omitempty"`
 	Attrs  map[string]float64 `json:"attrs,omitempty"`
+
+	// Span and Parent link events into per-run timing trees (see span.go).
+	// Span is the process-unique ID of the span this event closes; Parent is
+	// the enclosing span's ID (0 = root). Events that are not span ends carry
+	// Span == 0 and stay outside the timing tree.
+	Span   uint64 `json:"span,omitempty"`
+	Parent uint64 `json:"parent,omitempty"`
 }
 
 // Tracer records events into a fixed-size ring buffer and, optionally, an
 // append-only JSONL sink. Emission is gated by an atomic level check, so a
 // disabled scope costs one atomic load and no allocations.
 type Tracer struct {
-	level atomic.Int32
-	seq   atomic.Uint64
+	level   atomic.Int32
+	seq     atomic.Uint64
+	spanSeq atomic.Uint64
 
 	mu     sync.Mutex
 	ring   []Event

@@ -101,6 +101,11 @@ type Options struct {
 	// RunID tags this optimizer's trace events; NewOptimizer derives one
 	// ("opt-N") when Telemetry is set and RunID is empty.
 	RunID string
+	// Workload, when set together with Telemetry, labels the per-workload
+	// metric series fed below this optimizer (the uncertain-fraction gauge,
+	// the MOGD subproblem-cache counters). Typically the workload name of
+	// the originating service request.
+	Workload string
 }
 
 // Plan is one Pareto-optimal configuration with its predicted objective
@@ -130,6 +135,23 @@ type Optimizer struct {
 	// comp is set by NewPipelineOptimizer: the stage structure behind spc,
 	// used to report per-stage configurations in plans.
 	comp *CompositeSpace
+	// parentSpan nests this optimizer's expand/eval spans under a request
+	// root span (see SetParentSpan).
+	parentSpan uint64
+}
+
+// SetParentSpan nests the spans of subsequent frontier work (PF expands,
+// solver solves, eval batches) under the given span ID — the service calls
+// this per request with its root span, including on cached optimizers, so a
+// reused run's timing lands under the right request.
+func (o *Optimizer) SetParentSpan(id uint64) {
+	o.parentSpan = id
+	if o.run != nil {
+		o.run.SetParentSpan(id)
+	}
+	if o.ev != nil {
+		o.ev.SetParentSpan(id)
+	}
 }
 
 // NewOptimizer validates the task and builds an optimizer.
@@ -222,6 +244,8 @@ func (o *Optimizer) Expand(probes int) ([]Plan, error) {
 			OnProgress: o.opt.OnProgress,
 			Telemetry:  o.opt.Telemetry,
 			RunID:      o.opt.RunID,
+			Workload:   o.opt.Workload,
+			ParentSpan: o.parentSpan,
 		}
 		copt.Lower, copt.Upper = o.bounds()
 		var s interface {
@@ -264,12 +288,13 @@ func (o *Optimizer) evaluator() (*problem.Evaluator, error) {
 			return nil, fmt.Errorf("udao: %w", err)
 		}
 		o.ev = problem.NewEvaluator(p, problem.Options{Alpha: o.opt.Alpha, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID})
+		o.ev.SetParentSpan(o.parentSpan)
 	}
 	return o.ev, nil
 }
 
 func (o *Optimizer) mogdSolver(ev *problem.Evaluator) (*mogd.Solver, error) {
-	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID})
+	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID, Workload: o.opt.Workload})
 }
 
 // FrontierPoints returns the cached frontier as minimization-oriented

@@ -23,6 +23,8 @@
 #                        overhead, expected ~1% time and 0 extra allocs)
 #   internal/space       Lookup / LookupLinearRef / Get  (name->index map vs
 #                        the old linear scan under the Get hot path)
+#   internal/telemetry   SpanStartEnd / SpanStartEndOff  (span open+End on
+#                        the solve hot path; must stay 0 allocs/op)
 #   internal/solver/mogd MOGDSolve / MOGDSolveSerial / MOGDSolveBatch
 #   internal/moo/ws, nc  WSRun / NCRun  (baseline inner loops)
 #   internal/core        Sequential / Parallel  (PF-S / PF-AP end to end)
@@ -39,6 +41,7 @@ go test -run '^$' -bench 'GEMM' -benchmem -benchtime 1s ./internal/linalg/ >>"$R
 go test -run '^$' -bench 'Predict|Gradient|ValueGrad' -benchmem -benchtime 1s ./internal/model/dnn/ >>"$RAW"
 go test -run '^$' -bench 'Evaluator|EvalBatch|Composite' -benchmem -benchtime 1s ./internal/problem/ >>"$RAW"
 go test -run '^$' -bench 'Lookup|Get' -benchmem -benchtime 1s ./internal/space/ >>"$RAW"
+go test -run '^$' -bench 'Span' -benchmem -benchtime 1s ./internal/telemetry/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'WSRun|NCRun' -benchmem -benchtime 1s ./internal/moo/ws/ ./internal/moo/nc/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime 1s ./internal/core/ >>"$RAW"

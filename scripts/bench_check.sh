@@ -30,9 +30,10 @@ fi
 
 # Tracked benchmarks: the blocked GEMM kernel, the batched DNN pass, the
 # evaluator seam (scalar, matrix-batch, and the stage-wise composite eval —
-# informational until its first scripts/bench.sh recording), the MOGD solver
-# hot path, and the end-to-end Progressive Frontier loops.
-TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel'
+# informational until its first scripts/bench.sh recording), the span
+# open+End pair (must stay allocation-free), the MOGD solver hot path, and
+# the end-to-end Progressive Frontier loops.
+TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval SpanStartEnd MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -40,6 +41,7 @@ trap 'rm -f "$RAW"' EXIT
 go test -run '^$' -bench 'GEMM' -benchmem -benchtime "$BENCHTIME" ./internal/linalg/ >>"$RAW"
 go test -run '^$' -bench 'ValueGradBatch' -benchmem -benchtime "$BENCHTIME" ./internal/model/dnn/ >>"$RAW"
 go test -run '^$' -bench 'Evaluator|EvalBatch|Composite' -benchmem -benchtime "$BENCHTIME" ./internal/problem/ >>"$RAW"
+go test -run '^$' -bench 'SpanStartEnd$' -benchmem -benchtime "$BENCHTIME" ./internal/telemetry/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime "$BENCHTIME" ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime "$BENCHTIME" ./internal/core/ >>"$RAW"
 
