@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticProfileMix(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	deck := syntheticProfile(names, 0.25, 30)
+	if len(deck) != 100 {
+		t.Fatalf("deck has %d slots, want 100", len(deck))
+	}
+	pipes := 0
+	flatWls := map[string]bool{}
+	for _, r := range deck {
+		if len(r.Stages) > 0 {
+			pipes++
+			if len(r.Stages) != 2 {
+				t.Fatalf("pipeline request with %d stages: %+v", len(r.Stages), r)
+			}
+			continue
+		}
+		flatWls[r.Workload] = true
+	}
+	if pipes != 25 {
+		t.Fatalf("%d pipeline slots, want 25 (frac 0.25)", pipes)
+	}
+	for _, n := range names {
+		if !flatWls[n] {
+			t.Fatalf("workload %q missing from the flat mix", n)
+		}
+	}
+	if got := len(syntheticProfile(names, 0, 30)); got != 100 {
+		t.Fatalf("frac 0 deck has %d slots", got)
+	}
+}
+
+func TestReplayRequests(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "runs.jsonl")
+	lines := []string{
+		`{"id":"run-000001","workload":"q1-w001","objectives":["latency","cores"],"weights":[0.9,0.1],"probes":40}`,
+		`{"id":"run-000002","workload":"pipe","objectives":["latency","cores"],"probes":25,"stages":[{"name":"s0","workload":"q1-w001","dim":3},{"name":"s1","workload":"q9-w003","dim":3}]}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := replayRequests(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("replayed %d requests, want 2", len(reqs))
+	}
+	flat := reqs[0]
+	if flat.Workload != "q1-w001" || flat.Probes != 40 || len(flat.Weights) != 2 || len(flat.Stages) != 0 {
+		t.Fatalf("flat replay: %+v", flat)
+	}
+	pipe := reqs[1]
+	if pipe.Workload != "pipe" || len(pipe.Stages) != 2 || pipe.Stages[1] != "q9-w003" {
+		t.Fatalf("pipeline replay: %+v", pipe)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lats := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lats, 0.5); p != 5 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(lats, 0.99); p != 9 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Fatalf("empty percentile = %v", p)
+	}
+}
+
+// TestLoadgenSmoke runs the whole command — in-process server, warmup,
+// paced load, report — at a miniature scale, and checks the JSON report.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end loadgen run")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "bench.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workloads", "1,9", "-samples", "12", "-probes", "8",
+		"-qps", "100", "-duration", "1s", "-concurrency", "8",
+		"-out", outPath, "-label", "smoke",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "achieved") || !strings.Contains(buf.String(), "cache hit ratio") {
+		t.Fatalf("report text missing expected lines:\n%s", buf.String())
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	if !sc.Scan() {
+		t.Fatal("no report line appended")
+	}
+	var rep report
+	if err := json.Unmarshal(sc.Bytes(), &rep); err != nil {
+		t.Fatalf("report line: %v", err)
+	}
+	if rep.Schema != "udao-serving-bench/v1" || rep.Label != "smoke" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.OK == 0 || rep.Errors != 0 {
+		t.Fatalf("report counts: %+v", rep)
+	}
+	if rep.Workloads != 2 || rep.HitRatio <= 0 {
+		t.Fatalf("report mix: workloads=%d hit=%v", rep.Workloads, rep.HitRatio)
+	}
+}

@@ -69,6 +69,11 @@ var (
 	alertMaxMB = flag.Int("alerts-max-mb", 0, "rotate the alert log past this many MiB (0 uses the 64 MiB default)")
 	watchEvery = flag.Duration("watch-interval", 15*time.Second, "watchdog rule-sweep interval")
 	flightDir  = flag.String("flight-dir", "flight", "flight-recorder bundle directory for triggered pprof captures (empty disables)")
+
+	cacheEntries = flag.Int("cache-entries", 0, "serving-cache capacity in cached optimizers (0 uses the default 256)")
+	cacheTTL     = flag.Duration("cache-ttl", 0, "serving-cache entry time-to-live (0 uses the default 15m, negative disables expiry)")
+	maxInflight  = flag.Int("max-inflight", 0, "admission limit on concurrent solves (0 uses GOMAXPROCS, negative disables admission control)")
+	shedWait     = flag.Duration("shed-wait", 0, "how long a request may wait for a solve slot before a 429 (0 uses the default 500ms)")
 )
 
 func main() {
@@ -140,6 +145,10 @@ func main() {
 	svc.Seed = *seed
 	svc.Telemetry = tel
 	svc.Logger = logger
+	svc.CacheEntries = *cacheEntries
+	svc.CacheTTL = *cacheTTL
+	svc.MaxInflight = *maxInflight
+	svc.ShedWait = *shedWait
 	if *runsPath != "" {
 		reg, err := runlog.Open(*runsPath, runlog.Options{MaxBytes: int64(*runsMaxMB) << 20})
 		if err != nil {

@@ -152,6 +152,19 @@ func renderWatch(out io.Writer, source string, m map[string]float64, alerts []wa
 	fmt.Fprintf(out, "evals       %.0f model passes, memo hit rate %s | subcache hit rate %s\n",
 		evals, memoRate, scRate)
 
+	reqs := m[telemetry.MetricServingRequests]
+	servingHits := m[telemetry.MetricServingHits]
+	coalesced := m[telemetry.MetricServingCoalesced]
+	shed := m[telemetry.MetricShed]
+	hitRate, shedRate := "-", "-"
+	if reqs > 0 {
+		hitRate = fmt.Sprintf("%.0f%%", 100*(servingHits+coalesced)/reqs)
+		shedRate = fmt.Sprintf("%.1f%%", 100*shed/reqs)
+	}
+	fmt.Fprintf(out, "serving     %.0f requests, hit rate %s (%.0f coalesced) | shed rate %s | %.0f cached, %.0f solving\n",
+		reqs, hitRate, coalesced, shedRate,
+		m[telemetry.MetricServingEntries], m[telemetry.MetricServingInflight])
+
 	fmt.Fprintf(out, "frontier    hypervolume %.4f, coverage %.0f, quality delta %+.4f\n",
 		m[telemetry.MetricFrontierHypervolume], m[telemetry.MetricFrontierCoverage], m[telemetry.MetricRunQualityDelta])
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/modelserver"
 	"repro/internal/runlog"
+	"repro/internal/serving"
 	"repro/internal/telemetry"
 	"repro/internal/watch"
 )
@@ -51,13 +53,42 @@ type Service struct {
 	// on its alert log staying writable.
 	Watch *watch.Watchdog
 
-	mu         sync.Mutex
-	optimizers map[string]*udao.Optimizer // keyed by workload+objectives
+	// CacheEntries, CacheTTL, MaxInflight, ShedWait and CoalesceWait tune
+	// the serving cache (capacity in optimizers, entry time-to-live, the
+	// admission semaphore, the shed deadline, and how long a coalesced
+	// request waits on another request's in-flight solve — see package
+	// serving for semantics and defaults). They must be set before the
+	// first Optimize call; zero values use the serving defaults.
+	CacheEntries int
+	CacheTTL     time.Duration
+	MaxInflight  int
+	ShedWait     time.Duration
+	CoalesceWait time.Duration
+
+	servingOnce sync.Once
+	cache       *serving.Cache
 }
 
 // New builds a service over a model server.
 func New(server *modelserver.Server) *Service {
-	return &Service{Server: server, Exact: map[string]model.Model{}, optimizers: map[string]*udao.Optimizer{}}
+	return &Service{Server: server, Exact: map[string]model.Model{}}
+}
+
+// serving lazily builds the sharded optimizer cache from the service's
+// tuning fields — lazily so callers can assign Telemetry and the Cache*
+// knobs after New.
+func (s *Service) serving() *serving.Cache {
+	s.servingOnce.Do(func() {
+		s.cache = serving.NewCache(serving.Config{
+			Entries:     s.CacheEntries,
+			TTL:         s.CacheTTL,
+			MaxInflight: s.MaxInflight,
+			ShedWait:    s.ShedWait,
+			CoalesceMax: s.CoalesceWait,
+			Telemetry:   s.Telemetry,
+		})
+	})
+	return s.cache
 }
 
 // OptimizeRequest is the /optimize request body. A flat request names one
@@ -99,6 +130,11 @@ type OptimizeResponse struct {
 	UncertainSpace float64                       `json:"uncertain_space"`
 	ModelEvals     uint64                        `json:"model_evals"`
 	MemoHits       uint64                        `json:"memo_hits"`
+	// Served says how the serving layer satisfied the request: "hit" (cached
+	// frontier), "solve" (built and solved here), "expand" (cached run
+	// resumed for more probes), or "coalesced" (shared another request's
+	// in-flight solve).
+	Served string `json:"served,omitempty"`
 	// RunRecord is the run-registry record ID of this call (retrievable via
 	// GET /runs/{id}); present when the service runs with a registry.
 	RunRecord string `json:"run_record,omitempty"`
@@ -230,16 +266,12 @@ func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int, runID strin
 	return udao.NewPipelineOptimizer(c, objs, udao.Options{Probes: probes, Starts: 8 * len(stages), Seed: s.Seed, Telemetry: s.Telemetry, RunID: runID, Workload: req.Workload})
 }
 
-// Optimize computes a frontier (cached per workload+objectives+stages, so
-// repeated requests with different weights answer from the cached frontier,
-// §II-B) and recommends with WUN. With a run registry attached, every
-// successful call is recorded end to end; the record ID is returned in the
-// response.
-func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
-	start := time.Now()
-	if req.Workload == "" {
-		return nil, fmt.Errorf("service: workload required")
-	}
+// requestKey is the serving-cache key: everything that determines WHICH
+// optimizer answers a request (workload, objectives, stage list, shared
+// knobs). Weights and probes are deliberately absent — different weights
+// answer from one frontier (§II-B), and different probe budgets share one
+// incrementally-expanded run (§IV-A).
+func requestKey(req OptimizeRequest) string {
 	key := req.Workload
 	for _, n := range req.Objectives {
 		key += "|" + n
@@ -250,53 +282,81 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 	for _, n := range req.SharedKnobs {
 		key += "|shared:" + n
 	}
-	s.mu.Lock()
-	opt, ok := s.optimizers[key]
-	s.mu.Unlock()
+	return key
+}
+
+// Optimize computes a frontier (cached per workload+objectives+stages, so
+// repeated requests with different weights answer from the cached frontier,
+// §II-B) and recommends with WUN. The serving cache coalesces concurrent
+// identical requests onto one solve, resumes the cached run when a request
+// asks for more probes than it has invested, and sheds with *serving.ShedError
+// when admission control refuses the solve. No service lock is held across a
+// solve: requests for different keys build and solve fully in parallel. With
+// a run registry attached, every successful call is recorded end to end; the
+// record ID is returned in the response.
+func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
+	start := time.Now()
+	if req.Workload == "" {
+		return nil, fmt.Errorf("service: workload required")
+	}
+	probes := req.Probes
+	if probes == 0 {
+		probes = 30
+	}
 	// Root span of this request: everything the solve path does — model
 	// (re)training, PF expands, MOGD solves — nests under it, which is what
 	// the per-phase breakdown and udao-traceview's timeline are computed
 	// from. Cached optimizers keep their run ID across requests; the root
-	// span ID isolates this request's subtree.
+	// span ID isolates this request's subtree. Opened lazily because the run
+	// ID is the optimizer's — a fresh one for a build, the cached one for a
+	// hit — and which of those happens is the serving cache's call.
 	var root telemetry.Span
 	runID := ""
-	if s.Telemetry != nil {
-		if ok {
-			runID = opt.RunID()
-		} else {
-			runID = s.Telemetry.NextRunID("opt")
+	openRoot := func(id string) {
+		if s.Telemetry == nil || runID != "" {
+			return
 		}
+		runID = id
 		root = s.Telemetry.Trace.StartSpan(telemetry.LevelRun, runID, 0, "service", "optimize")
 		s.Server.SetTraceContext(runID, root.ID())
+	}
+	build := func() (*udao.Optimizer, error) {
+		if s.Telemetry != nil {
+			openRoot(s.Telemetry.NextRunID("opt"))
+		}
+		if len(req.Stages) > 0 {
+			return s.pipelineOptimizer(req, probes, runID, root)
+		}
+		objs, err := s.resolveFor(req.Workload, req.Objectives)
+		if err != nil {
+			return nil, err
+		}
+		return udao.NewOptimizer(s.Server.Space(), objs,
+			udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry, RunID: runID, Workload: req.Workload})
+	}
+	solve := func(opt *udao.Optimizer, delta int) error {
+		openRoot(opt.RunID())
+		opt.SetParentSpan(root.ID())
+		_, err := opt.Expand(delta)
+		return err
+	}
+	lease, served, err := s.serving().Acquire(requestKey(req), probes, build, solve)
+	if err != nil {
+		root.End("error", nil)
+		if runID != "" {
+			s.Server.SetTraceContext("", 0)
+		}
+		return nil, err
+	}
+	defer lease.Release()
+	opt := lease.Optimizer()
+	openRoot(opt.RunID())
+	if runID != "" {
 		defer s.Server.SetTraceContext("", 0)
 	}
 	fail := func(err error) (*OptimizeResponse, error) {
 		root.End("error", nil)
 		return nil, err
-	}
-	if !ok {
-		probes := req.Probes
-		if probes == 0 {
-			probes = 30
-		}
-		var err error
-		if len(req.Stages) > 0 {
-			opt, err = s.pipelineOptimizer(req, probes, runID, root)
-		} else {
-			var objs []udao.Objective
-			objs, err = s.resolveFor(req.Workload, req.Objectives)
-			if err != nil {
-				return fail(err)
-			}
-			opt, err = udao.NewOptimizer(s.Server.Space(), objs,
-				udao.Options{Probes: probes, Seed: s.Seed, Telemetry: s.Telemetry, RunID: runID, Workload: req.Workload})
-		}
-		if err != nil {
-			return fail(err)
-		}
-		s.mu.Lock()
-		s.optimizers[key] = opt
-		s.mu.Unlock()
 	}
 	opt.SetParentSpan(root.ID())
 	front, err := opt.ParetoFrontier()
@@ -321,6 +381,7 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 		UncertainSpace: uncertain,
 		ModelEvals:     opt.Evals(),
 		MemoHits:       hits,
+		Served:         served.String(),
 	}
 	if comp := opt.CompositeSpace(); comp != nil && plan.Stages != nil {
 		resp.StageConfigs = make(map[string]map[string]float64, len(plan.Stages))
@@ -525,6 +586,18 @@ func (s *Service) Handler() http.Handler {
 		}
 		resp, err := s.Optimize(req)
 		if err != nil {
+			var shed *serving.ShedError
+			if errors.As(err, &shed) {
+				// Backpressure, not failure: tell the client when capacity is
+				// plausibly back (whole seconds per RFC 9110, at least 1).
+				sec := int(shed.RetryAfter.Seconds() + 0.999)
+				if sec < 1 {
+					sec = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(sec))
+				http.Error(w, err.Error(), http.StatusTooManyRequests)
+				return
+			}
 			code := http.StatusBadRequest
 			if errors.Is(err, modelserver.ErrNotFound) {
 				code = http.StatusNotFound

@@ -77,6 +77,25 @@ type Config struct {
 	// off never changes results — only wall-clock. Callers that retrain the
 	// underlying models must call ResetCache.
 	CacheCap int
+	// NearStarts, when true, upgrades exact-key subproblem-cache misses to
+	// NEAR hits inside SolveBatch: the last multi-start row is seeded from
+	// the solution of the nearest previously-cached ε-constraint box with
+	// the same target (L1 distance over the finite bounds; boxes whose
+	// infinity patterns differ are incomparable) instead of a random draw.
+	// PF expand loops revisit slightly-shifted rectangles, so the neighbour's
+	// incumbent is usually feasible here too and descent starts next to the
+	// optimum.
+	//
+	// Determinism: each SolveBatch sees a SNAPSHOT of the cache as of the
+	// batch's start — entries inserted during the batch are invisible to its
+	// probes — so results are independent of probe scheduling. Standalone
+	// Solve calls never near-warm-start. The trade-off is that with
+	// NearStarts on, a batch probe's result may legitimately differ from the
+	// same (co, seed) solved standalone (it had a better starting point);
+	// and if the cache overflows CacheCap mid-run, WHICH neighbours survive
+	// eviction depends on concurrent LRU touch order, making warm starts
+	// reproducible only while the working set fits the cache.
+	NearStarts bool
 	// Telemetry, when non-nil, feeds the solver's counters (iterations,
 	// boundary clamps, solves, infeasible solves, subproblem-cache traffic)
 	// and emits one trace event per Solve (per-start events at
@@ -154,6 +173,10 @@ type Solver struct {
 	scratch sync.Pool
 	// cache is the cross-expand subproblem cache (nil when disabled).
 	cache *subCache
+	// epoch stamps cache entries for NearStarts' snapshot rule: SolveBatch
+	// bumps it once at batch start, and near-neighbour lookup only considers
+	// entries stamped before the running batch.
+	epoch atomic.Uint64
 
 	// Telemetry instruments (nil when Config.Telemetry is nil), resolved
 	// once at construction.
@@ -164,11 +187,13 @@ type Solver struct {
 	telCacheHit  *telemetry.Counter
 	telCacheMiss *telemetry.Counter
 	telCacheRej  *telemetry.Counter
+	telCacheNear *telemetry.Counter
 	// Per-workload subcache series (nil without Config.Workload); the
 	// instruments are nil-safe so call sites never branch.
 	telCacheHitW  *telemetry.Counter
 	telCacheMissW *telemetry.Counter
 	telCacheRejW  *telemetry.Counter
+	telCacheNearW *telemetry.Counter
 	tracer        *telemetry.Tracer
 	runID         string
 	// parentSpan is the span ID the next solve/solve_batch spans nest under,
@@ -224,10 +249,12 @@ func NewOnEvaluator(ev *problem.Evaluator, cfg Config) (*Solver, error) {
 		s.telCacheHit = tel.Metrics.Counter(telemetry.MetricMOGDCacheHit)
 		s.telCacheMiss = tel.Metrics.Counter(telemetry.MetricMOGDCacheMiss)
 		s.telCacheRej = tel.Metrics.Counter(telemetry.MetricMOGDCacheRej)
+		s.telCacheNear = tel.Metrics.Counter(telemetry.MetricMOGDCacheNear)
 		if cfg.Workload != "" {
 			s.telCacheHitW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheHit, "workload", cfg.Workload))
 			s.telCacheMissW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheMiss, "workload", cfg.Workload))
 			s.telCacheRejW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheRej, "workload", cfg.Workload))
+			s.telCacheNearW = tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricMOGDCacheNear, "workload", cfg.Workload))
 		}
 		s.tracer = tel.Trace
 		s.runID = cfg.RunID
@@ -450,8 +477,17 @@ func (s *Solver) considerRow(co solver.CO, x []float64, f, fr objective.Point, r
 // takes its own Adam step with inline [0,1] clamping. Per-row arithmetic and
 // its order match the former per-start loop exactly, so the incumbents in
 // sc.res are bit-identical to sequential per-start descent.
-func (s *Solver) solveAllStarts(co solver.CO, seed int64, sc *solveScratch) {
+func (s *Solver) solveAllStarts(co solver.CO, seed int64, snap uint64, sc *solveScratch) {
 	s.fillStarts(seed, sc.X)
+	// Near warm start (Config.NearStarts): replace the LAST random draw with
+	// the nearest cached neighbour's solution. Overwriting after fillStarts
+	// keeps the RNG draw sequence — and with it every other start row —
+	// identical to the cold path; keeping rows 0..n-2 preserves the center
+	// start and the exploration draws.
+	if snap != 0 && sc.X.Rows >= 2 && s.nearWarmStart(co, snap, sc.X.Row(sc.X.Rows-1)) {
+		s.telCacheNear.Add(1)
+		s.telCacheNearW.Add(1)
+	}
 	for i := range sc.mAdam.Data {
 		sc.mAdam.Data[i] = 0
 		sc.vAdam.Data[i] = 0
@@ -547,6 +583,13 @@ func (s *Solver) solveAllStarts(co solver.CO, seed int64, sc *solveScratch) {
 // seed solved before) replays the remembered solution without any model
 // passes — bit-identical to re-solving, see Config.CacheCap.
 func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
+	return s.solve(co, seed, 0)
+}
+
+// solve is Solve with a cache-snapshot epoch: snap == 0 means "no near warm
+// starts" (the standalone path); SolveBatch passes its batch epoch so probes
+// may warm-start from entries cached before the batch began.
+func (s *Solver) solve(co solver.CO, seed int64, snap uint64) (objective.Solution, bool) {
 	s.checkBounds(co)
 	// The solve span covers cache lookup and descent alike; a replay ends it
 	// immediately with the "cache_replay" detail, so the timeline attributes
@@ -560,7 +603,7 @@ func (s *Solver) Solve(co solver.CO, seed int64) (objective.Solution, bool) {
 		return sol, ok
 	}
 	sc := s.scratch.Get().(*solveScratch)
-	s.solveAllStarts(co, seed, sc)
+	s.solveAllStarts(co, seed, snap, sc)
 	if s.tracer.Enabled(telemetry.LevelVerbose) {
 		for st := range sc.res {
 			r := &sc.res[st]
@@ -703,6 +746,13 @@ func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
 			span.End("", map[string]float64{"problems": float64(len(cos)), "feasible": float64(ok)})
 		}()
 	}
+	// The batch epoch freezes the near-warm-start snapshot: whatever the
+	// cache held before this line is fair game for every probe; whatever the
+	// probes themselves insert is not. With NearStarts off the bump is inert.
+	var snap uint64
+	if s.cfg.NearStarts {
+		snap = s.epoch.Add(1)
+	}
 	var next int64 = -1
 	work := func() {
 		for {
@@ -710,7 +760,7 @@ func (s *Solver) SolveBatch(cos []solver.CO, seed int64) []solver.Result {
 			if i >= len(cos) {
 				break
 			}
-			sol, ok := s.Solve(cos[i], seed+int64(i)*7919)
+			sol, ok := s.solve(cos[i], seed+int64(i)*7919, snap)
 			out[i] = solver.Result{Sol: sol, OK: ok}
 		}
 	}
@@ -742,13 +792,20 @@ type subCache struct {
 	lru     *list.List // front = most recently used
 	entries map[string]*list.Element
 	// Stats mirror the telemetry counters for callers without a registry.
-	hits, misses, rejects uint64
+	hits, misses, rejects, nearHits uint64
 }
 
 type cacheEntry struct {
 	key string
 	sol objective.Solution
 	ok  bool
+	// target, lo and hi identify the entry's ε-constraint box for the
+	// NearStarts neighbour search (lo/hi are copies of the solved CO's
+	// bounds); epoch is the solver epoch at insertion, gating which batches
+	// may warm-start from this entry.
+	target int
+	lo, hi []float64
+	epoch  uint64
 }
 
 func newSubCache(cap int) *subCache {
@@ -835,13 +892,16 @@ func (s *Solver) cachePut(co solver.CO, seed int64, sol objective.Solution, ok b
 	if s.cache == nil {
 		return
 	}
-	s.cache.put(cacheKey(co, seed), cloneSolution(sol), ok)
+	s.cache.put(cacheKey(co, seed), cloneSolution(sol), ok, co, s.epoch.Load())
 }
 
-func (c *subCache) put(key string, sol objective.Solution, ok bool) {
+func (c *subCache) put(key string, sol objective.Solution, ok bool, co solver.CO, epoch uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, exists := c.entries[key]; exists {
+		// Overwrite keeps the original insertion epoch: an entry that was
+		// already visible to running batches stays visible, one that wasn't
+		// doesn't become so mid-batch.
 		e := el.Value.(*cacheEntry)
 		e.sol, e.ok = sol, ok
 		c.lru.MoveToFront(el)
@@ -852,7 +912,74 @@ func (c *subCache) put(key string, sol objective.Solution, ok bool) {
 		delete(c.entries, back.Value.(*cacheEntry).key)
 		c.lru.Remove(back)
 	}
-	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, sol: sol, ok: ok})
+	c.entries[key] = c.lru.PushFront(&cacheEntry{
+		key: key, sol: sol, ok: ok,
+		target: co.Target,
+		lo:     append([]float64(nil), co.Lo...),
+		hi:     append([]float64(nil), co.Hi...),
+		epoch:  epoch,
+	})
+}
+
+// boxDistance is the L1 distance between the requested constraint box and a
+// cached entry's box over their finite bounds. Boxes whose infinity patterns
+// differ answer a structurally different subproblem and are incomparable.
+func boxDistance(co solver.CO, lo, hi []float64) (float64, bool) {
+	d := 0.0
+	for j := range co.Lo {
+		a, b := co.Lo[j], lo[j]
+		if math.IsInf(a, -1) != math.IsInf(b, -1) {
+			return 0, false
+		}
+		if !math.IsInf(a, -1) {
+			d += math.Abs(a - b)
+		}
+		a, b = co.Hi[j], hi[j]
+		if math.IsInf(a, 1) != math.IsInf(b, 1) {
+			return 0, false
+		}
+		if !math.IsInf(a, 1) {
+			d += math.Abs(a - b)
+		}
+	}
+	return d, true
+}
+
+// nearWarmStart copies the nearest visible cached neighbour's solution into
+// dst and reports whether it found one. Only feasible entries with the same
+// target, a comparable box, and an insertion epoch before snap qualify; ties
+// in distance break toward the smaller key so the scan is independent of map
+// iteration order. (A same-box different-seed entry has distance 0 — the
+// most common near hit in PF's re-probing pattern.)
+func (s *Solver) nearWarmStart(co solver.CO, snap uint64, dst []float64) bool {
+	if !s.cfg.NearStarts || s.cache == nil {
+		return false
+	}
+	c := s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bestD := math.Inf(1)
+	bestKey := ""
+	var bestX []float64
+	for key, el := range c.entries {
+		e := el.Value.(*cacheEntry)
+		if e.epoch >= snap || !e.ok || e.target != co.Target || len(e.sol.X) != len(dst) {
+			continue
+		}
+		d, comparable := boxDistance(co, e.lo, e.hi)
+		if !comparable {
+			continue
+		}
+		if d < bestD || (d == bestD && key < bestKey) {
+			bestD, bestKey, bestX = d, key, e.sol.X
+		}
+	}
+	if bestX == nil {
+		return false
+	}
+	copy(dst, bestX)
+	c.nearHits++
+	return true
 }
 
 // Prime seeds the subproblem cache with an externally-known incumbent — e.g.
@@ -871,7 +998,7 @@ func (s *Solver) Prime(co solver.CO, seed int64, sol objective.Solution, ok bool
 		panic(fmt.Sprintf("mogd: Prime solution has %d objectives and %d dims, want %d and %d",
 			len(sol.F), len(sol.X), s.k, s.dim))
 	}
-	s.cache.put(cacheKey(co, seed), cloneSolution(sol), ok)
+	s.cache.put(cacheKey(co, seed), cloneSolution(sol), ok, co, s.epoch.Load())
 }
 
 // ResetCache drops every cached subproblem. Callers that retrain or swap the
@@ -898,4 +1025,16 @@ func (s *Solver) CacheStats() (hits, misses, rejects uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.rejects
+}
+
+// CacheNearHits returns how many solves were warm-started from a cached
+// neighbour (NearStarts). Always zero with NearStarts off or no cache.
+func (s *Solver) CacheNearHits() uint64 {
+	c := s.cache
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nearHits
 }

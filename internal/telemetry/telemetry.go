@@ -79,6 +79,27 @@ const (
 	MetricWatchLastEval = "udao_watch_last_eval_unix"
 )
 
+// Serving-path metric names (PR: high-throughput serving). The sharded
+// frontier cache, the singleflight coalescer and the admission gate feed
+// these; udao_shed_total additionally appears per reason, e.g.
+// udao_shed_total{reason="admission"}, and the eviction counter per cause
+// (udao_serving_cache_evictions_total{reason="lru"|"ttl"}).
+// MetricMOGDCacheNear counts the PR-5 subproblem cache's near hits: exact-key
+// misses answered by warm-starting MOGD from the nearest cached
+// ε-constraint box (see mogd.Config.NearStarts).
+const (
+	MetricServingRequests  = "udao_serving_requests_total"
+	MetricServingHits      = "udao_serving_cache_hits_total"
+	MetricServingMisses    = "udao_serving_cache_misses_total"
+	MetricServingExpands   = "udao_serving_cache_expands_total"
+	MetricServingCoalesced = "udao_serving_coalesced_total"
+	MetricServingEvictions = "udao_serving_cache_evictions_total"
+	MetricServingEntries   = "udao_serving_cache_entries"
+	MetricServingInflight  = "udao_serving_inflight_solves"
+	MetricShed             = "udao_shed_total"
+	MetricMOGDCacheNear    = "udao_pf_subcache_near_hits_total"
+)
+
 // Telemetry bundles the two observability channels handed to instrumented
 // components: the metrics registry and the event trace. A nil *Telemetry is
 // valid everywhere and means "not instrumented".
@@ -134,6 +155,16 @@ func (t *Telemetry) registerStandard() {
 	r.Counter(MetricWatchEvals, "watchdog rule-evaluation sweeps completed")
 	r.Counter(MetricWatchAlerts, "watchdog alerts raised (also per rule)")
 	r.Gauge(MetricWatchLastEval, "unix time of the watchdog's last rule evaluation")
+	r.Counter(MetricServingRequests, "requests admitted into the serving cache path")
+	r.Counter(MetricServingHits, "serving-cache requests answered from a cached frontier")
+	r.Counter(MetricServingMisses, "serving-cache requests that had to build and solve")
+	r.Counter(MetricServingExpands, "serving-cache requests answered by resuming Expand on a cached run")
+	r.Counter(MetricServingCoalesced, "requests coalesced onto another request's in-flight solve")
+	r.Counter(MetricServingEvictions, "serving-cache entries evicted (also per reason: lru, ttl)")
+	r.Gauge(MetricServingEntries, "optimizer entries currently held by the serving cache")
+	r.Gauge(MetricServingInflight, "solves currently holding an admission slot")
+	r.Counter(MetricShed, "requests shed by admission control (also per reason)")
+	r.Counter(MetricMOGDCacheNear, "MOGD subproblem-cache near hits (solves warm-started from the nearest cached box)")
 }
 
 // Labeled renders the conventional single-label series name,

@@ -22,6 +22,13 @@
 //     EWMADeviation (3x) times its exponentially weighted moving average.
 //   - eval_stall: the evaluator's model-pass rate collapsed below 1/EWMADeviation
 //     of its EWMA while solves were in flight.
+//   - shed_burst: the serving path shed (429'd) at least ShedBurstThreshold
+//     (0.05) of the window's requests, with >= ShedBurstMin (20) requests in
+//     the window — admission control went from safety valve to steady state.
+//   - cache_thrash: the serving cache evicted (LRU) at least as many
+//     optimizers as it served hits over the window, with >= CacheThrashMin
+//     (8) evictions — the working set no longer fits and every miss pays a
+//     full rebuild.
 //
 // Every rule is edge-triggered per offending key (workload or series): an
 // alert fires when the condition becomes true for new data, not on every
@@ -89,6 +96,11 @@ type Config struct {
 	EWMADeviation    float64 // default 3
 	EWMAMinObs       uint64  // default 3 window observations
 
+	// Serving-path thresholds (shed_burst, cache_thrash).
+	ShedBurstThreshold float64 // default 0.05 of the window's requests
+	ShedBurstMin       uint64  // default 20 requests in the window
+	CacheThrashMin     uint64  // default 8 LRU evictions in the window
+
 	// Flight configures the triggered flight recorder; zero disables it.
 	Flight FlightConfig
 
@@ -124,6 +136,15 @@ func (c *Config) defaults() {
 	}
 	if c.EWMAMinObs == 0 {
 		c.EWMAMinObs = 3
+	}
+	if c.ShedBurstThreshold <= 0 {
+		c.ShedBurstThreshold = 0.05
+	}
+	if c.ShedBurstMin == 0 {
+		c.ShedBurstMin = 20
+	}
+	if c.CacheThrashMin == 0 {
+		c.CacheThrashMin = 8
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -276,6 +297,8 @@ func (w *Watchdog) EvalOnce() []Alert {
 		raised = append(raised, w.ruleSubcacheCollapse(snap)...)
 		raised = append(raised, w.ruleLatencyAnomaly(snap)...)
 		raised = append(raised, w.ruleEvalStall(snap, now)...)
+		raised = append(raised, w.ruleShedBurst(snap)...)
+		raised = append(raised, w.ruleCacheThrash(snap)...)
 	}
 	if w.cfg.Runs != nil {
 		raised = append(raised, w.ruleHVDropStreak()...)
@@ -536,6 +559,62 @@ func (w *Watchdog) ruleEvalStall(snap telemetry.Snapshot, now time.Time) []Alert
 		Rule: "eval_stall", Severity: "warning",
 		Value: rate, Threshold: ew / w.cfg.EWMADeviation,
 		Summary: fmt.Sprintf("model-pass rate %.0f/s collapsed below 1/%.0f of its moving average %.0f/s while solves ran", rate, w.cfg.EWMADeviation, ew),
+	}}
+}
+
+// ruleShedBurst: the fraction of serving requests shed (429) over the window.
+func (w *Watchdog) ruleShedBurst(snap telemetry.Snapshot) []Alert {
+	reqs := w.counterDelta(snap, telemetry.MetricServingRequests)
+	shed := w.counterDelta(snap, telemetry.MetricShed)
+	const key = "shedburst|"
+	if reqs < w.cfg.ShedBurstMin {
+		return nil // too little traffic to judge; keep the latch as-is
+	}
+	frac := float64(shed) / float64(reqs)
+	if frac < w.cfg.ShedBurstThreshold {
+		delete(w.fired, key)
+		return nil
+	}
+	evidence := fmt.Sprintf("%d", snap.Counters[telemetry.MetricShed])
+	if w.fired[key] == evidence {
+		return nil
+	}
+	w.fired[key] = evidence
+	sev := "warning"
+	if frac >= 0.5 {
+		sev = "critical"
+	}
+	return []Alert{{
+		Rule: "shed_burst", Severity: sev,
+		Value: frac, Threshold: w.cfg.ShedBurstThreshold,
+		Summary: fmt.Sprintf("serving shed %d of %d requests in the last window (%.1f%%) — admission control is load-shedding steadily", shed, reqs, 100*frac),
+	}}
+}
+
+// ruleCacheThrash: the serving cache's LRU churn outpaced its reuse — at
+// least CacheThrashMin evictions in the window and no fewer evictions than
+// hits, i.e. the eviction share of (evictions+hits) reached 1/2.
+func (w *Watchdog) ruleCacheThrash(snap telemetry.Snapshot) []Alert {
+	evict := w.counterDelta(snap, telemetry.Labeled(telemetry.MetricServingEvictions, "reason", "lru"))
+	hits := w.counterDelta(snap, telemetry.MetricServingHits)
+	const key = "cachethrash|"
+	if evict < w.cfg.CacheThrashMin {
+		return nil
+	}
+	share := float64(evict) / float64(evict+hits)
+	if share < 0.5 {
+		delete(w.fired, key)
+		return nil
+	}
+	evidence := fmt.Sprintf("%d", snap.Counters[telemetry.Labeled(telemetry.MetricServingEvictions, "reason", "lru")])
+	if w.fired[key] == evidence {
+		return nil
+	}
+	w.fired[key] = evidence
+	return []Alert{{
+		Rule: "cache_thrash", Severity: "warning",
+		Value: float64(evict), Threshold: float64(w.cfg.CacheThrashMin),
+		Summary: fmt.Sprintf("serving cache evicted %d optimizers against %d hits in the last window — the working set no longer fits; raise -cache-entries", evict, hits),
 	}}
 }
 

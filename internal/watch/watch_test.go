@@ -134,6 +134,110 @@ func TestSubcacheCollapseAndLatencyAnomaly(t *testing.T) {
 	}
 }
 
+func TestShedBurstAlert(t *testing.T) {
+	tel := telemetry.New()
+	clock := newClock()
+	w := newWatchdog(t, Config{Telemetry: tel, Now: clock.now})
+
+	reqs := tel.Metrics.Counter(telemetry.MetricServingRequests)
+	shed := tel.Metrics.Counter(telemetry.MetricShed)
+
+	w.EvalOnce() // baseline
+	// Healthy window: lots of traffic, a lone shed under the 5% threshold.
+	reqs.Add(100)
+	shed.Add(1)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("healthy window raised %v", got)
+	}
+	// Burst: 10 of 40 requests shed.
+	reqs.Add(40)
+	shed.Add(10)
+	clock.tick(15 * time.Second)
+	raised := w.EvalOnce()
+	if len(raised) != 1 || raised[0].Rule != "shed_burst" || raised[0].Severity != "warning" {
+		t.Fatalf("want one shed_burst warning, got %+v", raised)
+	}
+	if raised[0].Value < 0.24 || raised[0].Value > 0.26 {
+		t.Fatalf("shed fraction %v, want 0.25", raised[0].Value)
+	}
+	// Quiet window below ShedBurstMin: no judgement, no re-fire.
+	reqs.Add(3)
+	shed.Add(3)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("low-traffic window raised %v", got)
+	}
+	// Majority shed goes critical; new sheds are new evidence.
+	reqs.Add(30)
+	shed.Add(20)
+	clock.tick(15 * time.Second)
+	raised = w.EvalOnce()
+	if len(raised) != 1 || raised[0].Severity != "critical" {
+		t.Fatalf("want a critical shed_burst, got %+v", raised)
+	}
+	// Same cumulative sheds, more requests: healthy again, latch clears.
+	reqs.Add(100)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("recovered window raised %v", got)
+	}
+}
+
+func TestCacheThrashAlert(t *testing.T) {
+	tel := telemetry.New()
+	clock := newClock()
+	w := newWatchdog(t, Config{Telemetry: tel, Now: clock.now})
+
+	evictLRU := tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricServingEvictions, "reason", "lru"))
+	evictTTL := tel.Metrics.Counter(telemetry.Labeled(telemetry.MetricServingEvictions, "reason", "ttl"))
+	hits := tel.Metrics.Counter(telemetry.MetricServingHits)
+
+	w.EvalOnce() // baseline
+	// Healthy churn: a few evictions amid plenty of hits.
+	evictLRU.Add(10)
+	hits.Add(90)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("healthy window raised %v", got)
+	}
+	// TTL evictions are routine aging, not thrash — they must not count.
+	evictTTL.Add(50)
+	hits.Add(10)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("TTL-expiry window raised %v", got)
+	}
+	// Thrash: the window's LRU evictions match its hits.
+	evictLRU.Add(12)
+	hits.Add(12)
+	clock.tick(15 * time.Second)
+	raised := w.EvalOnce()
+	if len(raised) != 1 || raised[0].Rule != "cache_thrash" {
+		t.Fatalf("want one cache_thrash alert, got %+v", raised)
+	}
+	if raised[0].Value != 12 {
+		t.Fatalf("evictions in alert = %v, want 12", raised[0].Value)
+	}
+	// Same condition, no new evictions: edge-triggered.
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("repeat sweep re-raised %v", got)
+	}
+	// Hits recover: latch clears, a later thrash window fires again.
+	hits.Add(200)
+	evictLRU.Add(8)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 0 {
+		t.Fatalf("recovered window raised %v", got)
+	}
+	evictLRU.Add(20)
+	clock.tick(15 * time.Second)
+	if got := w.EvalOnce(); len(got) != 1 {
+		t.Fatalf("new thrash window raised %v", got)
+	}
+}
+
 func TestHVDropStreakTriggersFlightBundle(t *testing.T) {
 	tel := telemetry.New()
 	tel.Trace.SetLevel(telemetry.LevelRun)

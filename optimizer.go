@@ -294,7 +294,10 @@ func (o *Optimizer) evaluator() (*problem.Evaluator, error) {
 }
 
 func (o *Optimizer) mogdSolver(ev *problem.Evaluator) (*mogd.Solver, error) {
-	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID, Workload: o.opt.Workload})
+	// NearStarts: the PF loop's batches revisit neighbouring ε-constraint
+	// boxes across expands, which is exactly the access pattern the
+	// subproblem cache's near-warm-start exploits.
+	return mogd.NewOnEvaluator(ev, mogd.Config{Starts: o.opt.Starts, Iters: o.opt.Iters, Alpha: o.opt.Alpha, Seed: o.opt.Seed, NearStarts: true, Telemetry: o.opt.Telemetry, RunID: o.opt.RunID, Workload: o.opt.Workload})
 }
 
 // FrontierPoints returns the cached frontier as minimization-oriented
@@ -310,6 +313,17 @@ func (o *Optimizer) FrontierPoints() [][]float64 {
 		out[i] = append([]float64(nil), s.F...)
 	}
 	return out
+}
+
+// Probes reports the solver probes invested into the underlying Progressive
+// Frontier run so far (0 before the first frontier computation) — the
+// serving layer compares it against a request's probe target to decide
+// between answering from the cached frontier and resuming Expand.
+func (o *Optimizer) Probes() int {
+	if o.run == nil {
+		return 0
+	}
+	return o.run.Probes()
 }
 
 // ExpandHistory returns one step per Expand call of the underlying

@@ -28,6 +28,13 @@
 #   internal/solver/mogd MOGDSolve / MOGDSolveSerial / MOGDSolveBatch
 #   internal/moo/ws, nc  WSRun / NCRun  (baseline inner loops)
 #   internal/core        Sequential / Parallel  (PF-S / PF-AP end to end)
+#   internal/serving     ServingCacheHit / ServingCacheInsert /
+#                        CoalescedDispatch  (the serving cache's steady-state
+#                        lease path, eviction churn, and singleflight dispatch)
+#
+# After recording, a short udao-loadgen run (in-process server, 2 workloads,
+# 200 QPS for 2s) smoke-tests the QPS harness end to end — its numbers are
+# NOT recorded here; use cmd/udao-loadgen -out BENCH_serving.json for that.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -45,6 +52,7 @@ go test -run '^$' -bench 'Span' -benchmem -benchtime 1s ./internal/telemetry/ >>
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'WSRun|NCRun' -benchmem -benchtime 1s ./internal/moo/ws/ ./internal/moo/nc/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime 1s ./internal/core/ >>"$RAW"
+go test -run '^$' -bench 'Serving|Coalesced' -benchmem -benchtime 1s ./internal/serving/ >>"$RAW"
 
 CPU=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$RAW")
 
@@ -72,3 +80,6 @@ else
 fi
 
 echo "recorded run \"$LABEL\" in $OUT"
+
+echo "loadgen smoke: 2 workloads @ 200 QPS for 2s (numbers not recorded)"
+go run ./cmd/udao-loadgen -workloads 1,9 -samples 16 -qps 200 -duration 2s -concurrency 16 -probes 10

@@ -31,9 +31,10 @@ fi
 # Tracked benchmarks: the blocked GEMM kernel, the batched DNN pass, the
 # evaluator seam (scalar, matrix-batch, and the stage-wise composite eval —
 # informational until its first scripts/bench.sh recording), the span
-# open+End pair (must stay allocation-free), the MOGD solver hot path, and
-# the end-to-end Progressive Frontier loops.
-TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval SpanStartEnd MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel'
+# open+End pair (must stay allocation-free), the MOGD solver hot path, the
+# end-to-end Progressive Frontier loops, and the serving cache's lease /
+# insert / singleflight-dispatch paths.
+TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval SpanStartEnd MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel ServingCacheHit ServingCacheInsert CoalescedDispatch'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -44,6 +45,7 @@ go test -run '^$' -bench 'Evaluator|EvalBatch|Composite' -benchmem -benchtime "$
 go test -run '^$' -bench 'SpanStartEnd$' -benchmem -benchtime "$BENCHTIME" ./internal/telemetry/ >>"$RAW"
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime "$BENCHTIME" ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime "$BENCHTIME" ./internal/core/ >>"$RAW"
+go test -run '^$' -bench 'Serving|Coalesced' -benchmem -benchtime "$BENCHTIME" ./internal/serving/ >>"$RAW"
 
 # Baseline ns/op and allocs/op of benchmark $1, taken from the LAST run in
 # BENCH_solver.json that contains it (the file is self-generated, one
