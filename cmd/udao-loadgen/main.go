@@ -29,6 +29,18 @@
 // the shed (429) rate, and the serving-cache hit ratio observed from the
 // responses' "served" field; -out appends the same report as one JSON line
 // (schema udao-serving-bench/v1, the serving companion of BENCH_solver.json).
+//
+// With -observe-frac > 0 the generator also closes the observe loop: that
+// fraction of OK responses is followed by a POST /observe reporting a
+// simulated execution outcome, derived from the predicted objectives by
+// -observe-bias and -observe-noise. Against the in-process server this spins
+// up the full calibration stack (runs.jsonl, calib.jsonl, watchdog with
+// alerts.jsonl and flight bundles, under -state-dir), so one command
+// demonstrates drift detection end to end:
+//
+//	udao-loadgen -workloads 1 -qps 50 -duration 5s -observe-frac 0.5 \
+//	    -observe-bias 1.5 -state-dir ./state -watch-interval 2s
+//	udao-traceview calib ./state/calib.jsonl
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,6 +63,7 @@ import (
 	"time"
 
 	"repro/internal/bench/tpcxbb"
+	"repro/internal/calib"
 	"repro/internal/model"
 	"repro/internal/modelserver"
 	"repro/internal/runlog"
@@ -58,6 +72,7 @@ import (
 	"repro/internal/spark"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/watch"
 )
 
 func main() {
@@ -85,6 +100,12 @@ type options struct {
 	cacheEntries int
 	maxInflight  int
 	shedWait     time.Duration
+
+	observeFrac   float64
+	observeBias   float64
+	observeNoise  float64
+	stateDir      string
+	watchInterval time.Duration
 }
 
 func run(args []string, out io.Writer) error {
@@ -100,10 +121,11 @@ func run(args []string, out io.Writer) error {
 
 	base := strings.TrimRight(opt.url, "/")
 	if base == "" {
-		srv, err := inProcessServer(opt, out)
+		srv, cleanup, err := inProcessServer(opt, out)
 		if err != nil {
 			return err
 		}
+		defer cleanup()
 		defer srv.Close()
 		base = srv.URL
 	}
@@ -144,11 +166,19 @@ func parseFlags(args []string, out io.Writer) (options, error) {
 	fs.IntVar(&opt.cacheEntries, "cache-entries", 0, "in-process server: serving-cache capacity (0 = default)")
 	fs.IntVar(&opt.maxInflight, "max-inflight", 0, "in-process server: admission limit on concurrent solves (0 = default)")
 	fs.DurationVar(&opt.shedWait, "shed-wait", 0, "in-process server: shed deadline (0 = default)")
+	fs.Float64Var(&opt.observeFrac, "observe-frac", 0, "fraction of OK responses followed by a POST /observe with a simulated execution outcome (0 disables the observe loop)")
+	fs.Float64Var(&opt.observeBias, "observe-bias", 0, "relative bias of simulated outcomes: actual = predicted*(1+bias) — e.g. 1.5 makes every run 2.5x its prediction, driving the calib_drift alert")
+	fs.Float64Var(&opt.observeNoise, "observe-noise", 0, "multiplicative Gaussian noise of simulated outcomes: actual *= 1+noise*N(0,1)")
+	fs.StringVar(&opt.stateDir, "state-dir", "", "in-process server with -observe-frac: directory for runs.jsonl, calib.jsonl, alerts.jsonl and flight bundles (empty uses a temp dir)")
+	fs.DurationVar(&opt.watchInterval, "watch-interval", 2*time.Second, "in-process server with -observe-frac: watchdog sweep interval")
 	if err := fs.Parse(args); err != nil {
 		return opt, err
 	}
 	if opt.qps <= 0 {
 		return opt, fmt.Errorf("-qps must be positive")
+	}
+	if opt.observeFrac < 0 || opt.observeFrac > 1 {
+		return opt, fmt.Errorf("-observe-frac must be in [0,1]")
 	}
 	if opt.concurrency <= 0 {
 		opt.concurrency = 1
@@ -278,11 +308,16 @@ func replayRequests(path string) ([]service.OptimizeRequest, error) {
 }
 
 // inProcessServer builds the same service udao-server runs — sampled traces,
-// trained models, serving cache — behind an httptest listener.
-func inProcessServer(opt options, out io.Writer) (*httptest.Server, error) {
+// trained models, serving cache — behind an httptest listener. With
+// -observe-frac set it additionally carries the full observe loop (run
+// registry, calibration ledger, watchdog + flight recorder) under -state-dir;
+// the returned cleanup runs one final watchdog sweep (so outcomes observed
+// after the last periodic sweep still raise their alerts into alerts.jsonl)
+// and closes the durable state.
+func inProcessServer(opt options, out io.Writer) (*httptest.Server, func(), error) {
 	ws, err := parseWorkloads(opt.workloads)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	tel := telemetry.New()
 	tel.Trace.SetLevel(telemetry.LevelOff) // load generation, not tracing
@@ -304,10 +339,10 @@ func inProcessServer(opt options, out io.Writer) (*httptest.Server, error) {
 		}
 		confs, err := trace.HeuristicSample(spc, spark.DefaultBatchConf(spc), opt.samples, rand.New(rand.NewSource(opt.seed+int64(i))))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if err := trace.Collect(store, spc, w.Flow.Name, confs, runner, opt.seed); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fmt.Fprintf(out, "loaded workload %s (%d traces)\n", w.Flow.Name, opt.samples)
 	}
@@ -330,7 +365,49 @@ func inProcessServer(opt options, out io.Writer) (*httptest.Server, error) {
 		cores, _ := spc.Get(vals, spark.KnobCores)
 		return inst * cores
 	}}
-	return httptest.NewServer(svc.Handler()), nil
+	cleanup := func() {}
+	if opt.observeFrac > 0 {
+		dir := opt.stateDir
+		if dir == "" {
+			if dir, err = os.MkdirTemp("", "udao-loadgen"); err != nil {
+				return nil, nil, err
+			}
+			fmt.Fprintf(out, "observe loop state in %s\n", dir)
+		}
+		reg, err := runlog.Open(filepath.Join(dir, "runs.jsonl"), runlog.Options{})
+		if err != nil {
+			return nil, nil, err
+		}
+		led, err := calib.Open(filepath.Join(dir, "calib.jsonl"), calib.Options{Telemetry: tel})
+		if err != nil {
+			reg.Close()
+			return nil, nil, err
+		}
+		wd, err := watch.New(watch.Config{
+			Telemetry: tel,
+			Runs:      reg,
+			Calib:     led,
+			AlertPath: filepath.Join(dir, "alerts.jsonl"),
+			Interval:  opt.watchInterval,
+			Flight:    watch.FlightConfig{Dir: filepath.Join(dir, "flight")},
+		})
+		if err != nil {
+			led.Close()
+			reg.Close()
+			return nil, nil, err
+		}
+		wd.Start()
+		svc.Runs = reg
+		svc.Calib = led
+		svc.Watch = wd
+		cleanup = func() {
+			wd.Stop()
+			wd.EvalOnce()
+			led.Close()
+			reg.Close()
+		}
+	}
+	return httptest.NewServer(svc.Handler()), cleanup, nil
 }
 
 // report is the JSON line appended by -out.
@@ -357,6 +434,9 @@ type report struct {
 	MaxMs        float64   `json:"max_ms"`
 	SLOSec       float64   `json:"slo_sec"`
 	P99UnderSLO  bool      `json:"p99_under_slo"`
+	ObserveFrac  float64   `json:"observe_frac,omitempty"`
+	Observed     int       `json:"observed,omitempty"`
+	ObserveErrs  int       `json:"observe_errors,omitempty"`
 }
 
 // fire warms every distinct request shape once (training models and building
@@ -372,12 +452,12 @@ func fire(base string, reqs []request, opt options, out io.Writer) (report, erro
 			continue
 		}
 		warmed[k] = true
-		status, _, err := post(client, base, r.raw)
+		rep, err := post(client, base, r.raw)
 		if err != nil {
 			return report{}, fmt.Errorf("warmup: %w", err)
 		}
-		if status != http.StatusOK {
-			return report{}, fmt.Errorf("warmup request %s: status %d", r.raw, status)
+		if rep.status != http.StatusOK {
+			return report{}, fmt.Errorf("warmup request %s: status %d", r.raw, rep.status)
 		}
 	}
 	fmt.Fprintf(out, "warmed %d request shapes in %.1fs; measuring %.0f QPS for %s\n",
@@ -386,6 +466,11 @@ func fire(base string, reqs []request, opt options, out io.Writer) (report, erro
 	tokens := make(chan struct{}, 4*opt.concurrency)
 	var dropped atomic.Int64
 	go pace(tokens, opt.qps, opt.duration, &dropped)
+
+	var obs *observer
+	if opt.observeFrac > 0 {
+		obs = &observer{frac: opt.observeFrac, bias: opt.observeBias, noise: opt.observeNoise, client: client, base: base}
+	}
 
 	type outcome struct {
 		latency time.Duration
@@ -416,8 +501,14 @@ func fire(base string, reqs []request, opt options, out io.Writer) (report, erro
 					body, _ = json.Marshal(b)
 				}
 				t0 := time.Now()
-				status, served, err := post(client, base, body)
-				local = append(local, outcome{latency: time.Since(t0), status: status, served: served, err: err != nil})
+				rep, err := post(client, base, body)
+				local = append(local, outcome{latency: time.Since(t0), status: rep.status, served: rep.served, err: err != nil})
+				if err == nil && rep.status == http.StatusOK {
+					// Outcome feedback rides outside the latency measurement:
+					// executing the plan is the platform's cost, not the
+					// optimizer's.
+					obs.maybeObserve(rng, rep)
+				}
 			}
 			mu.Lock()
 			outcomes = append(outcomes, local...)
@@ -484,6 +575,11 @@ func fire(base string, reqs []request, opt options, out io.Writer) (report, erro
 		rep.MaxMs = 1000 * lats[n-1]
 	}
 	rep.P99UnderSLO = rep.P99Ms/1000 < rep.SLOSec
+	if obs != nil {
+		rep.ObserveFrac = opt.observeFrac
+		rep.Observed = int(obs.observed.Load())
+		rep.ObserveErrs = int(obs.errors.Load())
+	}
 	return rep, nil
 }
 
@@ -514,23 +610,73 @@ func pace(tokens chan<- struct{}, qps float64, d time.Duration, dropped *atomic.
 	}
 }
 
-func post(client *http.Client, base string, body []byte) (status int, served string, err error) {
+// optReply is the slice of the /optimize response the load loop cares about:
+// the serving disposition for the hit-ratio, and the run record + predicted
+// objectives the observe loop echoes back as a simulated outcome.
+type optReply struct {
+	status     int
+	served     string
+	runRecord  string
+	objectives map[string]float64
+}
+
+func post(client *http.Client, base string, body []byte) (optReply, error) {
 	resp, err := client.Post(base+"/optimize", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return 0, "", err
+		return optReply{}, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		var out struct {
-			Served string `json:"served"`
+			Served     string             `json:"served"`
+			RunRecord  string             `json:"run_record"`
+			Objectives map[string]float64 `json:"objectives"`
 		}
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-			return resp.StatusCode, "", err
+			return optReply{status: resp.StatusCode}, err
 		}
-		return resp.StatusCode, out.Served, nil
+		return optReply{status: resp.StatusCode, served: out.Served, runRecord: out.RunRecord, objectives: out.Objectives}, nil
 	}
 	io.Copy(io.Discard, resp.Body)
-	return resp.StatusCode, "", nil
+	return optReply{status: resp.StatusCode}, nil
+}
+
+// observer closes the loop for a sampled fraction of OK responses: it reports
+// the "actual" outcome of the recommended configuration back over POST
+// /observe, derived from the prediction by the configured bias and noise —
+// a stand-in for executing the plan on the cluster. With -observe-bias far
+// from 0 the fed-back outcomes diverge from predictions and the server's
+// calib_drift watchdog rule fires; with bias 0 the ledger records a
+// well-calibrated stream.
+type observer struct {
+	frac, bias, noise float64
+	client            *http.Client
+	base              string
+	observed          atomic.Int64
+	errors            atomic.Int64
+}
+
+func (o *observer) maybeObserve(rng *rand.Rand, rep optReply) {
+	if o == nil || rep.runRecord == "" || len(rep.objectives) == 0 || rng.Float64() >= o.frac {
+		return
+	}
+	actual := make(map[string]float64, len(rep.objectives))
+	for k, v := range rep.objectives {
+		actual[k] = v * (1 + o.bias) * (1 + o.noise*rng.NormFloat64())
+	}
+	body, _ := json.Marshal(service.ObserveRequest{Run: rep.runRecord, Actual: actual})
+	resp, err := o.client.Post(o.base+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		o.errors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		o.errors.Add(1)
+		return
+	}
+	o.observed.Add(1)
 }
 
 func percentile(sorted []float64, p float64) float64 {
@@ -550,6 +696,10 @@ func printReport(out io.Writer, r report) {
 		r.P50Ms, r.P95Ms, r.P99Ms, r.MaxMs, r.SLOSec, okStr(r.P99UnderSLO))
 	fmt.Fprintf(out, "serving   cache hit ratio %.1f%% | shed rate %.2f%%\n",
 		100*r.HitRatio, 100*r.ShedRate)
+	if r.ObserveFrac > 0 {
+		fmt.Fprintf(out, "observe   %d outcomes fed back (frac %.2f, %d errors)\n",
+			r.Observed, r.ObserveFrac, r.ObserveErrs)
+	}
 }
 
 func okStr(ok bool) string {

@@ -124,3 +124,70 @@ func TestLoadgenSmoke(t *testing.T) {
 		t.Fatalf("report mix: workloads=%d hit=%v", rep.Workloads, rep.HitRatio)
 	}
 }
+
+// TestObserveLoopTripsDriftAlert is the end-to-end observe-loop demo: the
+// generator drives /optimize and feeds deliberately biased outcomes back over
+// /observe; the in-process server's watchdog must notice the drifted
+// calibration within a sweep and land a calib_drift alert — with a
+// flight-recorder bundle — in the state directory.
+func TestObserveLoopTripsDriftAlert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end loadgen run")
+	}
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workloads", "1", "-samples", "12", "-probes", "8", "-pipeline-frac", "0",
+		"-qps", "60", "-duration", "1s", "-concurrency", "8",
+		"-observe-frac", "1", "-observe-bias", "1.5",
+		"-state-dir", dir, "-watch-interval", "250ms",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "outcomes fed back") {
+		t.Fatalf("report missing observe line:\n%s", buf.String())
+	}
+
+	// The durable state the loop leaves behind: a ledger with matched pairs...
+	if fi, err := os.Stat(filepath.Join(dir, "calib.jsonl")); err != nil || fi.Size() == 0 {
+		t.Fatalf("calib.jsonl missing or empty: %v", err)
+	}
+	// ...and a calib_drift alert in alerts.jsonl. actual = 2.5x predicted
+	// gives rel err 0.6 on every objective, far over the 0.35 ceiling.
+	blob, err := os.ReadFile(filepath.Join(dir, "alerts.jsonl"))
+	if err != nil {
+		t.Fatalf("alerts.jsonl: %v", err)
+	}
+	type alert struct {
+		Rule     string  `json:"rule"`
+		Workload string  `json:"workload"`
+		Value    float64 `json:"value"`
+		Bundle   string  `json:"bundle"`
+	}
+	var drift *alert
+	sc := bufio.NewScanner(bytes.NewReader(blob))
+	for sc.Scan() {
+		var a alert
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			t.Fatalf("bad alert line %q: %v", sc.Text(), err)
+		}
+		if a.Rule == "calib_drift" && drift == nil {
+			drift = &a
+		}
+	}
+	if drift == nil {
+		t.Fatalf("no calib_drift alert in alerts.jsonl:\n%s", blob)
+	}
+	if drift.Value < 0.5 || drift.Value > 0.7 {
+		t.Fatalf("drift MAPE = %v, want ~0.6", drift.Value)
+	}
+	// The first raised alert captures a flight bundle identifying itself.
+	if drift.Bundle != "" {
+		if _, err := os.Stat(filepath.Join(drift.Bundle, "alert.json")); err != nil {
+			t.Fatalf("flight bundle %s incomplete: %v", drift.Bundle, err)
+		}
+	} else if _, err := os.Stat(filepath.Join(dir, "flight")); err != nil {
+		t.Fatalf("no flight bundle captured for any alert")
+	}
+}

@@ -8,9 +8,11 @@
 //	POST /predict     {"workload": "...", "objective": "latency", "x": [...]}
 //	GET  /workloads
 //	POST /optimize    {"workload": "...", "weights": [0.9, 0.1], "probes": 30}
+//	POST /observe     {"run": "run-000001", "actual": {"latency": 12.3}} — observed outcome
 //	GET  /runs        recorded optimization runs (?workload=, ?limit=, ?since=)
 //	GET  /runs/{id}   one full run record (frontier, quality, counters)
 //	GET  /workloads/{name}/quality  frontier-quality series of one workload
+//	GET  /workloads/{name}/calibration  rolling prediction-error stats of one workload
 //	GET  /alerts      recent watchdog alerts (?limit=)
 //	GET  /healthz     liveness (+ watchdog sweep counters)
 //	GET  /readyz      readiness (model server + run-registry + alert-log writability)
@@ -42,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/bench/tpcxbb"
+	"repro/internal/calib"
 	"repro/internal/model"
 	"repro/internal/modelserver"
 	"repro/internal/runlog"
@@ -74,6 +77,11 @@ var (
 	cacheTTL     = flag.Duration("cache-ttl", 0, "serving-cache entry time-to-live (0 uses the default 15m, negative disables expiry)")
 	maxInflight  = flag.Int("max-inflight", 0, "admission limit on concurrent solves (0 uses GOMAXPROCS, negative disables admission control)")
 	shedWait     = flag.Duration("shed-wait", 0, "how long a request may wait for a solve slot before a 429 (0 uses the default 500ms)")
+	warmCache    = flag.Int("warm-cache", 0, "prime the serving cache at boot from the newest run-registry records: max distinct request keys (0 disables, negative warms every key)")
+
+	calibPath   = flag.String("calib", "calib.jsonl", "calibration ledger JSONL file joining observed outcomes to predictions via POST /observe (empty disables)")
+	calibMaxMB  = flag.Int("calib-max-mb", 0, "rotate the calibration ledger past this many MiB (0 uses the 64 MiB default)")
+	calibWindow = flag.Int("calib-window", 0, "rolling calibration window in pairs per workload+objective (0 uses the default 64)")
 )
 
 func main() {
@@ -159,10 +167,29 @@ func main() {
 		svc.Runs = reg
 		logger.Info("run registry open", "path", *runsPath, "records", reg.Len())
 	}
+	if *calibPath != "" {
+		if svc.Runs == nil {
+			logger.Error("-calib requires a run registry (-runs) to join outcomes against")
+			os.Exit(1)
+		}
+		led, err := calib.Open(*calibPath, calib.Options{
+			Window:    *calibWindow,
+			MaxBytes:  int64(*calibMaxMB) << 20,
+			Telemetry: tel,
+		})
+		if err != nil {
+			logger.Error("opening calibration ledger", "path", *calibPath, "err", err)
+			os.Exit(1)
+		}
+		defer led.Close()
+		svc.Calib = led
+		logger.Info("calibration ledger open", "path", *calibPath, "pairs", led.Len(), "window", led.Window())
+	}
 	if *alertsPath != "" {
 		wd, err := watch.New(watch.Config{
 			Telemetry:     tel,
 			Runs:          svc.Runs,
+			Calib:         svc.Calib,
 			AlertPath:     *alertsPath,
 			AlertMaxBytes: int64(*alertMaxMB) << 20,
 			Interval:      *watchEvery,
@@ -188,6 +215,18 @@ func main() {
 		cores, _ := spc.Get(vals, spark.KnobCores)
 		return inst * cores
 	}}
+
+	// Warm-up runs after every objective is registered so primed builds
+	// resolve exactly like live requests.
+	if *warmCache != 0 && svc.Runs != nil {
+		max := *warmCache
+		if max < 0 {
+			max = 0 // WarmCache treats 0 as "every distinct key"
+		}
+		start := time.Now()
+		n := svc.WarmCache(max)
+		logger.Info("serving cache warmed", "entries", n, "took", time.Since(start).Round(time.Millisecond))
+	}
 
 	// The service handler already carries /metrics and /debug/trace (and the
 	// request middleware); mount the debug-only endpoints around it.

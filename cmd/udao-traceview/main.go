@@ -14,6 +14,13 @@
 //	                                                     trajectory, per-phase
 //	                                                     span timeline
 //	udao-traceview watch -url http://127.0.0.1:8080      live dashboard
+//	udao-traceview calib -ledger calib.jsonl             prediction-vs-outcome
+//	                                                     calibration: MAPE, bias,
+//	                                                     interval coverage per
+//	                                                     workload+objective
+//	udao-traceview calib -ledger calib.jsonl -workload q1-w001
+//	                                                     drill-down: recent pairs
+//	                                                     + drift trajectory
 //
 // For runs recorded with span-level tracing the per-run report shows an
 // exact per-phase timeline (self time per phase from the span tree rooted
@@ -49,6 +56,8 @@ func run(args []string, out io.Writer) error {
 		switch args[0] {
 		case "watch":
 			return watchCmd(args[1:], out)
+		case "calib":
+			return calibCmd(args[1:], out)
 		case "report":
 			// "report <run>" is the spelled-out form of the positional run ID.
 			args = args[1:]

@@ -31,6 +31,8 @@ func TestGoldenOutputs(t *testing.T) {
 		{"workload", []string{"-runs", "testdata/runs.jsonl", "-workload", "q1-w001"}, "testdata/workload.golden"},
 		{"run", []string{"-runs", "testdata/runs.jsonl", "-trace", "testdata/trace.jsonl", "run-000002"}, "testdata/run.golden"},
 		{"run with spans", []string{"report", "-runs", "testdata/runs.jsonl", "-trace", "testdata/trace.jsonl", "run-000005"}, "testdata/runspan.golden"},
+		{"calib dashboard", []string{"calib", "-ledger", "testdata/calib.jsonl"}, "testdata/calib.golden"},
+		{"calib workload", []string{"calib", "-ledger", "testdata/calib.jsonl", "-workload", "q1-w001", "-recent", "3"}, "testdata/calibworkload.golden"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,48 @@
+package calib
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// BenchmarkCalibWindowAdd measures the rolling-window update path one
+// observed outcome pays per joined objective: ring insert, full stats
+// recompute (mean, bias, coverage, sorted quantiles) and gauge publication.
+// Must stay 0 allocs/op — this runs synchronously under the ledger lock.
+func BenchmarkCalibWindowAdd(b *testing.B) {
+	tel := telemetry.New()
+	s := newSeries("bench", "latency", DefaultWindow, tel)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.add(sample{signed: float64(i%7)*0.1 - 0.3, abs: float64(i%7) * 0.1, hasStd: i%2 == 0, covered: i%3 == 0}, "run-000042")
+	}
+}
+
+// BenchmarkCalibLedgerAppend measures the full Observe path — join, error
+// computation, window update, metric publication and the async write
+// hand-off (disk I/O itself happens on the background worker).
+func BenchmarkCalibLedgerAppend(b *testing.B) {
+	tel := telemetry.New()
+	l, err := Open(filepath.Join(b.TempDir(), "calib.jsonl"), Options{Telemetry: tel})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	pred := map[string]float64{"latency": 10, "cores": 8}
+	std := map[string]float64{"latency": 1.5}
+	actual := map[string]float64{"latency": 12, "cores": 8}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Observe(Pair{Workload: "bench", Run: "run-000042", Predicted: pred, Std: std, Actual: actual}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,488 @@
+// Package calib is the prediction–outcome ledger that closes the observe
+// loop: the service records what the learned models *predicted* for every
+// recommendation (internal/runlog), POST /observe brings back what the
+// execution actually *measured*, and this package joins the two into durable
+// matched pairs plus rolling per-workload/per-objective calibration —
+// signed/absolute relative error (MAPE), quantile residuals, and
+// uncertainty-interval coverage against the models' own predictive variance
+// (GP posterior, DNN MC-dropout spread).
+//
+// The paper's premise (§V–VI) is that the models predict objectives well
+// enough for MOGD/PF recommendations to be trusted; the ledger is the
+// evidence. The online-tuning follow-ups (MFTune, arXiv:2603.16450;
+// arXiv:2309.01901) both start from per-workload drift detection — the
+// `calib_drift` and `coverage_collapse` watchdog rules evaluate exactly the
+// statistics maintained here.
+//
+// Durability matches internal/runlog: pairs append as JSON lines to a
+// size-rotated calib.jsonl (runlog.RotatingFile), IDs are monotonic across
+// restarts ("obs-000001"), a half-written final line is repaired at reopen,
+// and reopening replays every complete pair back into the rolling windows so
+// calibration state survives process restarts.
+//
+// Performance contract: Observe updates the in-memory windows synchronously
+// (fixed-size rings, reused sort scratch, metric instruments resolved once
+// per series — the window-add path is allocation-free, enforced by
+// BenchmarkCalibWindowAdd) and hands JSON encoding and the disk write to a
+// buffered background worker, so callers never wait on I/O.
+package calib
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runlog"
+	"repro/internal/telemetry"
+)
+
+// relEps floors the denominator of relative errors so observed outcomes near
+// zero don't blow the statistics up.
+const relEps = 1e-9
+
+// DefaultWindow is the rolling-window size (pairs per workload+objective)
+// used when Options.Window <= 0.
+const DefaultWindow = 64
+
+// DefaultZ is the half-width multiplier of the uncertainty interval used for
+// coverage when Options.Z <= 0: predicted ± 1.96·std, the central 95%
+// interval of a Gaussian predictive distribution.
+const DefaultZ = 1.96
+
+// ErrNoOverlap is returned by Observe when an outcome shares no objective
+// with the prediction it was matched to — nothing to calibrate.
+var ErrNoOverlap = errors.New("calib: outcome shares no objective with the prediction")
+
+// Pair is one matched prediction–outcome record, the unit of calib.jsonl.
+// Predicted/Std come from the run-registry record the outcome was joined to
+// (user-facing orientation, std absent for exact objectives); Actual is the
+// measured outcome in the same units; RelErr the signed relative error
+// (actual-predicted)/max(|actual|, eps) per joined objective.
+type Pair struct {
+	ID        string             `json:"id"`
+	Time      time.Time          `json:"time"`
+	Run       string             `json:"run,omitempty"`
+	TraceRun  string             `json:"trace_run,omitempty"`
+	Workload  string             `json:"workload"`
+	Served    string             `json:"served,omitempty"`
+	Predicted map[string]float64 `json:"predicted"`
+	Std       map[string]float64 `json:"predicted_std,omitempty"`
+	Actual    map[string]float64 `json:"actual"`
+	RelErr    map[string]float64 `json:"rel_err,omitempty"`
+}
+
+// Options tunes a ledger.
+type Options struct {
+	// Window is the rolling calibration window in pairs per
+	// workload+objective (<= 0 uses DefaultWindow).
+	Window int
+	// Z is the uncertainty-interval half-width in standard deviations used
+	// for coverage (<= 0 uses DefaultZ).
+	Z float64
+	// MaxBytes / Keep bound the active JSONL file and the rotation chain,
+	// exactly as in runlog.Options.
+	MaxBytes int64
+	Keep     int
+	// Buffer is the async write queue depth (<= 0 uses 256). A full queue
+	// makes Observe block until the worker drains — backpressure, not loss.
+	Buffer int
+	// Telemetry, when non-nil, receives the udao_calib_* instruments.
+	Telemetry *telemetry.Telemetry
+	// Now is a test hook for pair timestamps (nil uses time.Now).
+	Now func() time.Time
+}
+
+// Ledger is the durable prediction–outcome ledger plus the in-memory rolling
+// calibration windows. Safe for concurrent use.
+type Ledger struct {
+	path   string
+	window int
+	z      float64
+	now    func() time.Time
+	tel    *telemetry.Telemetry
+
+	mu         sync.Mutex
+	series     map[string]*series // workload\x00objective
+	byWorkload map[string][]*series
+	seq        uint64
+	count      int
+	nameBuf    []string // reused scratch for deterministic objective order
+
+	cPairs *telemetry.Counter
+	hAbs   *telemetry.Histogram
+
+	file    *runlog.RotatingFile
+	ch      chan Pair
+	pending sync.WaitGroup
+	done    chan struct{}
+	lifeMu  sync.RWMutex
+	closed  bool
+	lastErr atomic.Value // error
+}
+
+// Open loads the ledger at path (rotated files oldest-first, then the active
+// file), replays every complete pair into the rolling windows, repairs a
+// truncated final line, and starts the background writer.
+func Open(path string, opts Options) (*Ledger, error) {
+	l := &Ledger{
+		path:       path,
+		window:     opts.Window,
+		z:          opts.Z,
+		now:        opts.Now,
+		tel:        opts.Telemetry,
+		series:     map[string]*series{},
+		byWorkload: map[string][]*series{},
+		done:       make(chan struct{}),
+	}
+	if l.window <= 0 {
+		l.window = DefaultWindow
+	}
+	if l.z <= 0 {
+		l.z = DefaultZ
+	}
+	if l.now == nil {
+		l.now = time.Now
+	}
+	if l.tel != nil {
+		l.cPairs = l.tel.Metrics.Counter(telemetry.MetricCalibPairs)
+		l.hAbs = l.tel.Metrics.Histogram(telemetry.MetricCalibAbsErr, "", nil)
+	}
+	keep := opts.Keep
+	if keep <= 0 {
+		keep = runlog.DefaultKeep
+	}
+	for i := keep; i >= 1; i-- {
+		prs, _, err := readPairs(runlog.RotatedPath(path, i))
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			return nil, err
+		}
+		l.replayAll(prs)
+	}
+	prs, complete, err := readPairs(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, err
+	}
+	l.replayAll(prs)
+	if err == nil {
+		// Repair a half-written final pair: without this, the next append
+		// would concatenate onto the partial line and corrupt both records.
+		if st, serr := os.Stat(path); serr == nil && st.Size() > complete {
+			if terr := os.Truncate(path, complete); terr != nil {
+				return nil, fmt.Errorf("calib: repairing %s: %w", path, terr)
+			}
+		}
+	}
+	f, err := runlog.OpenRotating(path, opts.MaxBytes, opts.Keep)
+	if err != nil {
+		return nil, err
+	}
+	l.file = f
+	buf := opts.Buffer
+	if buf <= 0 {
+		buf = 256
+	}
+	l.ch = make(chan Pair, buf)
+	go l.writer()
+	return l, nil
+}
+
+// readPairs parses the JSONL file at path, returning the complete pairs and
+// the byte offset just past the last complete line (the truncation point for
+// crash repair). Unparseable interior lines are skipped.
+func readPairs(path string) (prs []Pair, complete int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, serr := f.Stat()
+	if serr != nil || !st.Mode().IsRegular() {
+		return nil, 0, nil
+	}
+	size := st.Size()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var offset int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		lineLen := int64(len(line)) + 1 // +1 for the newline Scan strips
+		var p Pair
+		if jerr := json.Unmarshal(line, &p); jerr == nil && p.ID != "" {
+			// A final line without a trailing newline is incomplete; it never
+			// reaches size, so comparing offsets excludes it.
+			if offset+lineLen <= size {
+				prs = append(prs, p)
+				complete = offset + lineLen
+			}
+		}
+		offset += lineLen
+	}
+	if serr := sc.Err(); serr != nil {
+		return prs, complete, serr
+	}
+	return prs, complete, nil
+}
+
+// replayAll feeds loaded pairs back into the windows, keeping seq past the
+// largest numeric ID so restarts never reuse one.
+func (l *Ledger) replayAll(prs []Pair) {
+	for i := range prs {
+		p := &prs[i]
+		l.absorbLocked(p)
+		var n uint64
+		if _, err := fmt.Sscanf(p.ID, "obs-%d", &n); err == nil && n > l.seq {
+			l.seq = n
+		}
+	}
+}
+
+// Observe validates, stamps and records one prediction–outcome pair: signed
+// relative errors are computed for every objective present in both Predicted
+// and Actual, the pair is absorbed into the rolling windows (publishing the
+// udao_calib_* instruments), and the disk write is queued. The returned pair
+// carries the assigned ID and computed errors. Returns ErrNoOverlap when no
+// objective joins. Disk errors surface asynchronously via Err.
+func (l *Ledger) Observe(p Pair) (Pair, error) {
+	l.lifeMu.RLock()
+	defer l.lifeMu.RUnlock()
+	if l.closed {
+		return p, errors.New("calib: ledger closed")
+	}
+	joined := 0
+	for name := range p.Actual {
+		if _, ok := p.Predicted[name]; ok {
+			joined++
+		}
+	}
+	if joined == 0 {
+		return p, ErrNoOverlap
+	}
+	if p.RelErr == nil {
+		p.RelErr = make(map[string]float64, joined)
+	}
+
+	l.mu.Lock()
+	if p.Time.IsZero() {
+		p.Time = l.now()
+	}
+	if p.ID == "" {
+		l.seq++
+		p.ID = fmt.Sprintf("obs-%06d", l.seq)
+	}
+	l.absorbLocked(&p)
+	l.mu.Unlock()
+
+	l.pending.Add(1)
+	// A full queue blocks rather than drops — the ledger is the system of
+	// record for calibration, and the worker keeps draining.
+	l.ch <- p
+	return p, nil
+}
+
+// absorbLocked computes/refreshes the pair's relative errors and feeds every
+// joined objective's rolling window. Iteration is in sorted objective order
+// so series creation (and therefore metric registration) is deterministic.
+func (l *Ledger) absorbLocked(p *Pair) {
+	l.nameBuf = l.nameBuf[:0]
+	for name := range p.Actual {
+		if _, ok := p.Predicted[name]; ok {
+			l.nameBuf = append(l.nameBuf, name)
+		}
+	}
+	if len(l.nameBuf) == 0 {
+		return
+	}
+	sort.Strings(l.nameBuf)
+	if p.RelErr == nil {
+		p.RelErr = make(map[string]float64, len(l.nameBuf))
+	}
+	for _, name := range l.nameBuf {
+		actual, pred := p.Actual[name], p.Predicted[name]
+		denom := math.Abs(actual)
+		if denom < relEps {
+			denom = relEps
+		}
+		signed := (actual - pred) / denom
+		p.RelErr[name] = signed
+		sm := sample{signed: signed, abs: math.Abs(signed)}
+		if std, ok := p.Std[name]; ok && std > 0 {
+			sm.hasStd = true
+			sm.covered = math.Abs(actual-pred) <= l.z*std
+		}
+		l.seriesLocked(p.Workload, name).add(sm, p.Run)
+		if l.hAbs != nil {
+			l.hAbs.Observe(sm.abs)
+		}
+	}
+	l.count++
+	if l.cPairs != nil {
+		l.cPairs.Inc()
+	}
+}
+
+func (l *Ledger) seriesLocked(workload, objective string) *series {
+	key := workload + "\x00" + objective
+	s, ok := l.series[key]
+	if !ok {
+		s = newSeries(workload, objective, l.window, l.tel)
+		l.series[key] = s
+		l.byWorkload[workload] = append(l.byWorkload[workload], s)
+	}
+	return s
+}
+
+// writer drains queued pairs to the rotated file; JSON encoding happens here,
+// off the caller's path.
+func (l *Ledger) writer() {
+	defer close(l.done)
+	for p := range l.ch {
+		line, err := json.Marshal(&p)
+		if err == nil {
+			line = append(line, '\n')
+			_, err = l.file.Write(line)
+		}
+		if err != nil {
+			l.lastErr.Store(err)
+		}
+		l.pending.Done()
+	}
+}
+
+// Calibration returns the rolling-window stats of every objective series of
+// one workload, sorted by objective name. Empty when the workload has no
+// observed outcomes.
+func (l *Ledger) Calibration(workload string) []ObjectiveStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ss := l.byWorkload[workload]
+	out := make([]ObjectiveStats, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, s.stats)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objective < out[j].Objective })
+	return out
+}
+
+// Workloads returns the distinct workloads with observed outcomes, sorted.
+func (l *Ledger) Workloads() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.byWorkload))
+	for w := range l.byWorkload {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Window returns the configured rolling-window size.
+func (l *Ledger) Window() int { return l.window }
+
+// Len returns the number of pairs absorbed (loaded + observed).
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}
+
+// Path returns the active JSONL file path.
+func (l *Ledger) Path() string { return l.path }
+
+// Err returns the ledger's writability status (nil when healthy) — the
+// calibration half of the service's readiness gate.
+func (l *Ledger) Err() error {
+	l.lifeMu.RLock()
+	closed := l.closed
+	l.lifeMu.RUnlock()
+	if closed {
+		return errors.New("calib: ledger closed")
+	}
+	return l.writeErr()
+}
+
+func (l *Ledger) writeErr() error {
+	if err, ok := l.lastErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Sync waits for every queued pair to reach the file and flushes it. For use
+// at checkpoints (tests, shutdown), not on the serving path.
+func (l *Ledger) Sync() error {
+	l.pending.Wait()
+	if err := l.Err(); err != nil {
+		return err
+	}
+	return l.file.Sync()
+}
+
+// Close drains the queue and closes the file. Further Observes fail.
+func (l *Ledger) Close() error {
+	l.lifeMu.Lock()
+	if l.closed {
+		l.lifeMu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.lifeMu.Unlock()
+	l.pending.Wait()
+	close(l.ch)
+	<-l.done
+	err := l.writeErr()
+	if cerr := l.file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Load reads every complete pair from the ledger files at path (rotated
+// oldest-first, then the active file) without opening them for writing — the
+// offline access path used by udao-traceview calib. A missing active file
+// with no rotated siblings is an error.
+func Load(path string) ([]Pair, error) {
+	var out []Pair
+	seen := map[string]bool{}
+	found := false
+	for i := runlog.DefaultKeep + 8; i >= 1; i-- {
+		prs, _, err := readPairs(runlog.RotatedPath(path, i))
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		found = true
+		for _, p := range prs {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				out = append(out, p)
+			}
+		}
+	}
+	prs, _, err := readPairs(path)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) || !found {
+			return nil, fmt.Errorf("calib: %w", err)
+		}
+	} else {
+		found = true
+		for _, p := range prs {
+			if !seen[p.ID] {
+				seen[p.ID] = true
+				out = append(out, p)
+			}
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("calib: no ledger files at %s", path)
+	}
+	return out, nil
+}

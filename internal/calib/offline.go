@@ -1,0 +1,60 @@
+package calib
+
+import (
+	"math"
+	"slices"
+	"strings"
+)
+
+// Summarize replays a recorded pair stream through the rolling-window
+// calibration machinery offline — the same stats a live ledger serves over
+// GET /workloads/{name}/calibration, recomputed from the persisted
+// predictions and outcomes. This is the analysis path of udao-traceview
+// calib: Load the ledger, Summarize the pairs, no server required. Stats are
+// keyed by workload and sorted by objective; window and z default like a
+// live ledger when zero.
+func Summarize(pairs []Pair, window int, z float64) map[string][]ObjectiveStats {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if z <= 0 {
+		z = DefaultZ
+	}
+	byKey := map[string]*series{}
+	var names []string
+	for _, p := range pairs {
+		names = names[:0]
+		for name := range p.Actual {
+			if _, ok := p.Predicted[name]; ok {
+				names = append(names, name)
+			}
+		}
+		slices.Sort(names)
+		for _, name := range names {
+			pred, actual := p.Predicted[name], p.Actual[name]
+			signed := (actual - pred) / math.Max(math.Abs(actual), relEps)
+			sm := sample{signed: signed, abs: math.Abs(signed)}
+			if std, ok := p.Std[name]; ok && std > 0 {
+				sm.hasStd = true
+				sm.covered = math.Abs(actual-pred) <= z*std
+			}
+			key := p.Workload + "\x00" + name
+			s := byKey[key]
+			if s == nil {
+				s = newSeries(p.Workload, name, window, nil)
+				byKey[key] = s
+			}
+			s.add(sm, p.Run)
+		}
+	}
+	out := map[string][]ObjectiveStats{}
+	for _, s := range byKey {
+		out[s.workload] = append(out[s.workload], s.stats)
+	}
+	for _, sts := range out {
+		slices.SortFunc(sts, func(a, b ObjectiveStats) int {
+			return strings.Compare(a.Objective, b.Objective)
+		})
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package calib
+
+import (
+	"slices"
+
+	"repro/internal/telemetry"
+)
+
+// CoverageUnknown is the sentinel reported when a window holds no pair with a
+// predictive standard deviation (e.g. every joined objective was exact), so
+// interval coverage is undefined.
+const CoverageUnknown = -1
+
+// ObjectiveStats is the rolling-window calibration of one workload+objective
+// series: how far predictions land from observed outcomes (relative error,
+// actual as the denominator) and how often outcomes fall inside the model's
+// z·sigma uncertainty interval.
+type ObjectiveStats struct {
+	Workload  string `json:"workload"`
+	Objective string `json:"objective"`
+	// Pairs is the number of pairs in the current window; Total counts every
+	// pair this series ever absorbed (including pairs replayed at reopen).
+	Pairs int    `json:"pairs"`
+	Total uint64 `json:"total_pairs"`
+	// MAPE is the window's mean absolute relative error; Bias the mean signed
+	// relative error ((actual-predicted)/|actual|: positive means the model
+	// underpredicts).
+	MAPE float64 `json:"mape"`
+	Bias float64 `json:"bias"`
+	// P50/P90 are quantiles of the window's absolute relative errors.
+	P50 float64 `json:"p50_abs_err"`
+	P90 float64 `json:"p90_abs_err"`
+	// Coverage is the fraction of the window's CoveragePairs (pairs whose
+	// prediction carried a standard deviation) whose outcome landed inside
+	// predicted ± z·std — CoverageUnknown (-1) when CoveragePairs is zero.
+	// A well-calibrated 95% interval (z=1.96) covers ~0.95.
+	Coverage      float64 `json:"coverage"`
+	CoveragePairs int     `json:"coverage_pairs"`
+	// LastRun is the run-registry record ID of the window's newest pair.
+	LastRun string `json:"last_run,omitempty"`
+}
+
+// sample is one pair's contribution to a series window.
+type sample struct {
+	signed  float64 // (actual - predicted) / max(|actual|, relEps)
+	abs     float64
+	hasStd  bool
+	covered bool
+}
+
+// series is the rolling window of one workload+objective. The add path is
+// allocation-free in steady state (fixed ring, reused sort scratch, metric
+// instruments resolved once at creation) — enforced by BenchmarkCalibWindowAdd.
+type series struct {
+	workload  string
+	objective string
+
+	win     []sample // ring buffer; len(win) is the window size
+	head, n int
+	total   uint64
+	lastRun string
+	scratch []float64
+
+	gMAPE, gBias, gCov *telemetry.Gauge
+	cPairs             *telemetry.Counter
+
+	stats ObjectiveStats
+}
+
+func newSeries(workload, objective string, window int, tel *telemetry.Telemetry) *series {
+	s := &series{
+		workload:  workload,
+		objective: objective,
+		win:       make([]sample, window),
+		scratch:   make([]float64, 0, window),
+	}
+	if tel != nil {
+		m := tel.Metrics
+		s.gMAPE = m.Gauge(telemetry.Labeled2(telemetry.MetricCalibMAPE, "workload", workload, "objective", objective))
+		s.gBias = m.Gauge(telemetry.Labeled2(telemetry.MetricCalibBias, "workload", workload, "objective", objective))
+		s.gCov = m.Gauge(telemetry.Labeled2(telemetry.MetricCalibCoverage, "workload", workload, "objective", objective))
+		s.cPairs = m.Counter(telemetry.Labeled2(telemetry.MetricCalibPairs, "workload", workload, "objective", objective))
+	}
+	return s
+}
+
+// add absorbs one sample, recomputes the window stats and publishes the
+// per-series instruments.
+func (s *series) add(sm sample, runID string) {
+	if s.n < len(s.win) {
+		s.win[(s.head+s.n)%len(s.win)] = sm
+		s.n++
+	} else {
+		s.win[s.head] = sm
+		s.head = (s.head + 1) % len(s.win)
+	}
+	s.total++
+	s.lastRun = runID
+	s.recompute()
+	if s.cPairs != nil {
+		s.cPairs.Inc()
+		s.gMAPE.Set(s.stats.MAPE)
+		s.gBias.Set(s.stats.Bias)
+		if s.stats.Coverage != CoverageUnknown {
+			s.gCov.Set(s.stats.Coverage)
+		}
+	}
+}
+
+func (s *series) recompute() {
+	var sumAbs, sumSigned float64
+	covered, covN := 0, 0
+	s.scratch = s.scratch[:0]
+	for i := 0; i < s.n; i++ {
+		sm := s.win[(s.head+i)%len(s.win)]
+		sumAbs += sm.abs
+		sumSigned += sm.signed
+		s.scratch = append(s.scratch, sm.abs)
+		if sm.hasStd {
+			covN++
+			if sm.covered {
+				covered++
+			}
+		}
+	}
+	slices.Sort(s.scratch)
+	st := &s.stats
+	st.Workload, st.Objective = s.workload, s.objective
+	st.Pairs, st.Total, st.LastRun = s.n, s.total, s.lastRun
+	st.MAPE = sumAbs / float64(s.n)
+	st.Bias = sumSigned / float64(s.n)
+	st.P50 = quantile(s.scratch, 0.5)
+	st.P90 = quantile(s.scratch, 0.9)
+	st.CoveragePairs = covN
+	if covN > 0 {
+		st.Coverage = float64(covered) / float64(covN)
+	} else {
+		st.Coverage = CoverageUnknown
+	}
+}
+
+// quantile returns the q-quantile of sorted (nearest-rank with linear
+// interpolation); 0 for an empty slice.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

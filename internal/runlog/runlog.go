@@ -109,6 +109,10 @@ type Record struct {
 	// Stages describes the pipeline structure of a stage-wise run (nil for
 	// flat runs); Space then describes the concatenated composite space.
 	Stages []StageInfo `json:"stages,omitempty"`
+	// SharedKnobs is the request's shared-knob list for stage-wise runs —
+	// together with Workload, Objectives and the stage workloads it lets the
+	// serving cache rebuild the exact request key at warm-up.
+	SharedKnobs []string `json:"shared_knobs,omitempty"`
 
 	Frontier    []FrontierPoint    `json:"frontier"`
 	Recommended map[string]float64 `json:"recommended,omitempty"`
@@ -117,6 +121,18 @@ type Record struct {
 	// for pipeline runs: StageRecommended[stage][knob], shared knobs repeated
 	// in every stage they tie.
 	StageRecommended map[string]map[string]float64 `json:"stage_recommended,omitempty"`
+
+	// PredictedStd is the predictive standard deviation of each objective's
+	// model at the recommended configuration (absent for exact objectives) —
+	// what the calibration ledger judges uncertainty-interval coverage
+	// against once the actual outcome is observed.
+	PredictedStd map[string]float64 `json:"predicted_std,omitempty"`
+
+	// Served says how the serving layer satisfied the request: "hit" (cached
+	// frontier), "solve" (built and solved), "expand" (cached run resumed) or
+	// "coalesced" (shared another request's in-flight solve) — distinguishes
+	// cached from fresh recommendations in the ledger and in GET /runs.
+	Served string `json:"served,omitempty"`
 
 	Quality Quality `json:"quality"`
 

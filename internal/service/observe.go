@@ -1,0 +1,167 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/internal/calib"
+	"repro/internal/runlog"
+)
+
+// ObserveRequest is the POST /observe request body: the actual execution
+// outcome of a previously recommended configuration. The outcome is joined to
+// its prediction either directly by run-registry record ID (Run, the
+// run_record of the /optimize response) or by Workload+Config — the knob
+// assignment that was executed, matched against the most recent recorded
+// recommendation of that workload.
+type ObserveRequest struct {
+	Run      string             `json:"run,omitempty"`
+	Workload string             `json:"workload,omitempty"`
+	Config   map[string]float64 `json:"config,omitempty"`
+	// Actual maps objective names to measured values, in the same units and
+	// orientation as the /optimize response's objectives block.
+	Actual map[string]float64 `json:"actual"`
+}
+
+// ObserveResponse echoes the stored ledger pair and the updated rolling
+// calibration of the pair's workload.
+type ObserveResponse struct {
+	Pair        calib.Pair             `json:"pair"`
+	Window      int                    `json:"window"`
+	Calibration []calib.ObjectiveStats `json:"calibration"`
+}
+
+// configMatchTol is the relative tolerance for matching an observed Config
+// against a recorded recommendation — configs round-trip through JSON
+// float64s, so exact bit equality is too strict.
+const configMatchTol = 1e-6
+
+// registerCalibration mounts the observe loop on mux:
+//
+//	POST /observe                       join an actual outcome to its prediction
+//	GET  /workloads/{name}/calibration  rolling calibration stats per objective
+//
+// Both answer 503 when the service runs without a calibration ledger or a run
+// registry (the join needs the recorded predictions).
+func (s *Service) registerCalibration(mux *http.ServeMux) {
+	mux.HandleFunc("POST /observe", func(w http.ResponseWriter, r *http.Request) {
+		if s.Calib == nil || s.Runs == nil {
+			http.Error(w, "calibration ledger disabled", http.StatusServiceUnavailable)
+			return
+		}
+		var req ObserveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, status, err := s.Observe(req)
+		if err != nil {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /workloads/{name}/calibration", func(w http.ResponseWriter, r *http.Request) {
+		if s.Calib == nil {
+			http.Error(w, "calibration ledger disabled", http.StatusServiceUnavailable)
+			return
+		}
+		name := r.PathValue("name")
+		stats := s.Calib.Calibration(name)
+		if len(stats) == 0 {
+			http.Error(w, fmt.Sprintf("no observed outcomes for workload %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"workload":    name,
+			"window":      s.Calib.Window(),
+			"calibration": stats,
+		})
+	})
+}
+
+// Observe joins one actual outcome to its recorded prediction and appends the
+// matched pair to the calibration ledger. It returns the HTTP status to
+// answer with on error: 404 for an unknown run or unmatchable config (the
+// ledger is untouched — a misdirected outcome must not corrupt calibration),
+// 400 for a malformed request or an outcome sharing no objective with the
+// prediction.
+func (s *Service) Observe(req ObserveRequest) (*ObserveResponse, int, error) {
+	if s.Calib == nil || s.Runs == nil {
+		return nil, http.StatusServiceUnavailable, errors.New("service: calibration ledger disabled")
+	}
+	if len(req.Actual) == 0 {
+		return nil, http.StatusBadRequest, errors.New("service: actual outcome values required")
+	}
+	rec, err := s.resolveOutcome(req)
+	if err != nil {
+		return nil, http.StatusNotFound, err
+	}
+	pair, err := s.Calib.Observe(calib.Pair{
+		Run:       rec.ID,
+		TraceRun:  rec.TraceRunID,
+		Workload:  rec.Workload,
+		Served:    rec.Served,
+		Predicted: rec.Objective,
+		Std:       rec.PredictedStd,
+		Actual:    req.Actual,
+	})
+	if err != nil {
+		if errors.Is(err, calib.ErrNoOverlap) {
+			return nil, http.StatusBadRequest, fmt.Errorf("service: outcome for %s names none of the predicted objectives %v", rec.ID, rec.Objectives)
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	return &ObserveResponse{
+		Pair:        pair,
+		Window:      s.Calib.Window(),
+		Calibration: s.Calib.Calibration(rec.Workload),
+	}, http.StatusOK, nil
+}
+
+// resolveOutcome finds the run-registry record an outcome belongs to: by
+// record ID when given, otherwise the most recent record of the workload
+// whose recommended configuration matches the executed one.
+func (s *Service) resolveOutcome(req ObserveRequest) (runlog.Record, error) {
+	if req.Run != "" {
+		rec, ok := s.Runs.Get(req.Run)
+		if !ok {
+			return rec, fmt.Errorf("service: no run %q", req.Run)
+		}
+		return rec, nil
+	}
+	if req.Workload == "" {
+		return runlog.Record{}, errors.New("service: run ID or workload+config required")
+	}
+	recs := s.Runs.List(req.Workload, time.Time{}, 0)
+	for i := len(recs) - 1; i >= 0; i-- {
+		if configMatches(req.Config, recs[i].Recommended) {
+			return recs[i], nil
+		}
+	}
+	return runlog.Record{}, fmt.Errorf("service: no recorded run of workload %q matches the executed config", req.Workload)
+}
+
+// configMatches reports whether the executed config equals the recorded
+// recommendation, knob for knob, within relative tolerance.
+func configMatches(got, rec map[string]float64) bool {
+	if len(got) == 0 || len(got) != len(rec) {
+		return false
+	}
+	for k, v := range got {
+		r, ok := rec[k]
+		if !ok {
+			return false
+		}
+		diff := math.Abs(v - r)
+		scale := math.Max(math.Abs(v), math.Abs(r))
+		if diff > configMatchTol*math.Max(scale, 1) {
+			return false
+		}
+	}
+	return true
+}

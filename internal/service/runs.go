@@ -21,7 +21,10 @@ type RunSummary struct {
 	Quality        runlog.Quality `json:"quality"`
 	Evals          uint64         `json:"evals"`
 	SolveSec       float64        `json:"solve_sec"`
-	TraceRunID     string         `json:"trace_run_id,omitempty"`
+	// Served distinguishes cached from fresh recommendations (PR 9
+	// dispositions: hit, solve, expand, coalesced).
+	Served     string `json:"served,omitempty"`
+	TraceRunID string `json:"trace_run_id,omitempty"`
 }
 
 func summarize(rec runlog.Record) RunSummary {
@@ -34,6 +37,7 @@ func summarize(rec runlog.Record) RunSummary {
 		Quality:        rec.Quality,
 		Evals:          rec.Evals,
 		SolveSec:       rec.SolveSec,
+		Served:         rec.Served,
 		TraceRunID:     rec.TraceRunID,
 	}
 }
@@ -188,6 +192,14 @@ func (s *Service) readiness() (int, map[string]any) {
 			ready = false
 		} else {
 			checks["alertlog"] = "ok"
+		}
+	}
+	if s.Calib != nil {
+		if err := s.Calib.Err(); err != nil {
+			checks["caliblog"] = err.Error()
+			ready = false
+		} else {
+			checks["caliblog"] = "ok"
 		}
 	}
 	status := http.StatusOK

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	udao "repro"
+	"repro/internal/calib"
 	"repro/internal/model"
 	"repro/internal/modelserver"
 	"repro/internal/runlog"
@@ -52,6 +53,12 @@ type Service struct {
 	// over GET /alerts, its liveness appears in /healthz, and /readyz gates
 	// on its alert log staying writable.
 	Watch *watch.Watchdog
+	// Calib, when non-nil (together with Runs), is the prediction–outcome
+	// ledger behind the observe loop: POST /observe joins actual execution
+	// outcomes against recorded predictions, GET /workloads/{name}/calibration
+	// serves the rolling calibration stats, and /readyz gates on the ledger
+	// staying writable.
+	Calib *calib.Ledger
 
 	// CacheEntries, CacheTTL, MaxInflight, ShedWait and CoalesceWait tune
 	// the serving cache (capacity in optimizers, entry time-to-live, the
@@ -135,6 +142,11 @@ type OptimizeResponse struct {
 	// resumed for more probes), or "coalesced" (shared another request's
 	// in-flight solve).
 	Served string `json:"served,omitempty"`
+	// PredictedStd is the predictive standard deviation of each objective's
+	// model at the recommended configuration (absent for exact objectives and
+	// for models without uncertainty) — the interval the calibration ledger
+	// judges coverage against when the outcome is observed via POST /observe.
+	PredictedStd map[string]float64 `json:"predicted_std,omitempty"`
 	// RunRecord is the run-registry record ID of this call (retrievable via
 	// GET /runs/{id}); present when the service runs with a registry.
 	RunRecord string `json:"run_record,omitempty"`
@@ -270,10 +282,17 @@ func (s *Service) pipelineOptimizer(req OptimizeRequest, probes int, runID strin
 // optimizer answers a request (workload, objectives, stage list, shared
 // knobs). Weights and probes are deliberately absent — different weights
 // answer from one frontier (§II-B), and different probe budgets share one
-// incrementally-expanded run (§IV-A).
+// incrementally-expanded run (§IV-A). The objective list is normalized to
+// its default before hashing, so an omitted list and an explicit
+// ["latency","cores"] share one entry — and so a record's defaulted
+// objective list reproduces the live key at warm-up.
 func requestKey(req OptimizeRequest) string {
 	key := req.Workload
-	for _, n := range req.Objectives {
+	names := req.Objectives
+	if len(names) == 0 {
+		names = []string{"latency", "cores"}
+	}
+	for _, n := range names {
 		key += "|" + n
 	}
 	for _, w := range req.Stages {
@@ -381,6 +400,7 @@ func (s *Service) Optimize(req OptimizeRequest) (*OptimizeResponse, error) {
 		UncertainSpace: uncertain,
 		ModelEvals:     opt.Evals(),
 		MemoHits:       hits,
+		PredictedStd:   opt.PredictedStd(plan.X),
 		Served:         served.String(),
 	}
 	if comp := opt.CompositeSpace(); comp != nil && plan.Stages != nil {
@@ -504,6 +524,8 @@ func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *Optimiz
 		Frontier:       front,
 		Recommended:    resp.Config,
 		Objective:      resp.Objectives,
+		PredictedStd:   resp.PredictedStd,
+		Served:         resp.Served,
 		Quality:        runlog.Quality{UncertainFrac: uncertain},
 		Evals:          resp.ModelEvals,
 		MemoHits:       resp.MemoHits,
@@ -528,6 +550,7 @@ func (s *Service) record(req OptimizeRequest, opt *udao.Optimizer, resp *Optimiz
 			}
 			rec.Stages[si] = runlog.StageInfo{Name: comp.Stages[si].Name, Workload: w, Vars: svars, Dim: ss.Dim()}
 		}
+		rec.SharedKnobs = req.SharedKnobs
 		rec.StageRecommended = resp.StageConfigs
 	}
 	stored, err := s.Runs.Append(rec)
@@ -574,6 +597,7 @@ func (s *Service) Handler() http.Handler {
 	mux.Handle("/predict", msHandler)
 	mux.Handle("/workloads", msHandler)
 	s.registerObservability(mux)
+	s.registerCalibration(mux)
 	mux.HandleFunc("/optimize", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST required", http.StatusMethodNotAllowed)

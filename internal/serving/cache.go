@@ -211,6 +211,7 @@ type Stats struct {
 	Shed      uint64
 	EvictLRU  uint64
 	EvictTTL  uint64
+	Warmups   uint64
 	Entries   int
 	Inflight  int
 }
@@ -231,11 +232,13 @@ type Cache struct {
 	requests, hits, misses, expands  atomic.Uint64
 	coalesced, evictLRU, evictTTL    atomic.Uint64
 	shedAdmission, shedCoalesce      atomic.Uint64
+	warmups                          atomic.Uint64
 	telRequests, telHits, telMisses  *telemetry.Counter
 	telExpands, telCoalesced         *telemetry.Counter
 	telEvict, telEvictLRU            *telemetry.Counter
 	telEvictTTL, telShed             *telemetry.Counter
 	telShedAdmission, telShedCoalesc *telemetry.Counter
+	telWarmup                        *telemetry.Counter
 	telEntries, telInflight          *telemetry.Gauge
 }
 
@@ -276,6 +279,7 @@ func NewCache(cfg Config) *Cache {
 		c.telShed = m.Counter(telemetry.MetricShed)
 		c.telShedAdmission = m.Counter(telemetry.Labeled(telemetry.MetricShed, "reason", ShedAdmission))
 		c.telShedCoalesc = m.Counter(telemetry.Labeled(telemetry.MetricShed, "reason", ShedCoalesce))
+		c.telWarmup = m.Counter(telemetry.MetricServingWarmup)
 		c.telEntries = m.Gauge(telemetry.MetricServingEntries)
 		c.telInflight = m.Gauge(telemetry.MetricServingInflight)
 	}
@@ -293,6 +297,7 @@ func (c *Cache) Stats() Stats {
 		Shed:      c.shedAdmission.Load() + c.shedCoalesce.Load(),
 		EvictLRU:  c.evictLRU.Load(),
 		EvictTTL:  c.evictTTL.Load(),
+		Warmups:   c.warmups.Load(),
 		Entries:   int(c.size.Load()),
 		Inflight:  int(c.inflight.Load()),
 	}
@@ -453,6 +458,38 @@ func (c *Cache) runFlight(e *entry, f *flight, probes int, building bool, build 
 	release()
 	// Still holding optMu: the solver's lease begins where its solve ended.
 	return &Lease{e: e}, nil
+}
+
+// Prime warms the entry for key outside any request flow: it builds and
+// solves to at least `probes` probes, then releases the optimizer
+// immediately so the first real request for the key is a cache hit. A key
+// that is already cached with enough probes invested — or that another
+// goroutine is currently solving — is left alone (primed=false, nil error);
+// warm-up never competes with live traffic for an entry it cannot improve.
+// Unlike Acquire, Prime does not count toward the request/hit/miss rates
+// (it is not a request); successful warm-ups increment
+// udao_serving_warmup_total and Stats.Warmups. The admission gate still
+// applies: priming N keys concurrently cannot exceed MaxInflight solves.
+func (c *Cache) Prime(key string, probes int, build Builder, solve Solver) (bool, error) {
+	now := time.Now()
+	e := c.lookup(key, now)
+	e.st.Lock()
+	if (e.opt != nil && e.probes >= probes) || e.inflight != nil {
+		e.st.Unlock()
+		return false, nil
+	}
+	f := &flight{target: probes, done: make(chan struct{})}
+	e.inflight = f
+	building := e.opt == nil
+	e.st.Unlock()
+	lease, err := c.runFlight(e, f, probes, building, build, solve, now.Add(c.cfg.ShedWait))
+	if err != nil {
+		return false, err
+	}
+	lease.Release()
+	c.warmups.Add(1)
+	c.telWarmup.Add(1)
+	return true, nil
 }
 
 // await blocks on a flight until it completes or the coalesce budget runs

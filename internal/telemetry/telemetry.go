@@ -100,6 +100,21 @@ const (
 	MetricMOGDCacheNear    = "udao_pf_subcache_near_hits_total"
 )
 
+// Calibration and warm-up metric names (PR: prediction–outcome ledger).
+// internal/calib feeds the udao_calib_* instruments on every observed
+// outcome; the gauges additionally appear per workload and objective, e.g.
+// udao_calib_mape{workload="q1",objective="latency"} — rolling-window values
+// over the last -calib-window pairs. MetricServingWarmup counts serving-cache
+// entries primed from the run registry at boot (-warm-cache).
+const (
+	MetricServingWarmup = "udao_serving_warmup_total"
+	MetricCalibPairs    = "udao_calib_pairs_total"
+	MetricCalibMAPE     = "udao_calib_mape"
+	MetricCalibBias     = "udao_calib_bias"
+	MetricCalibCoverage = "udao_calib_coverage"
+	MetricCalibAbsErr   = "udao_calib_abs_rel_err"
+)
+
 // Telemetry bundles the two observability channels handed to instrumented
 // components: the metrics registry and the event trace. A nil *Telemetry is
 // valid everywhere and means "not instrumented".
@@ -165,6 +180,12 @@ func (t *Telemetry) registerStandard() {
 	r.Gauge(MetricServingInflight, "solves currently holding an admission slot")
 	r.Counter(MetricShed, "requests shed by admission control (also per reason)")
 	r.Counter(MetricMOGDCacheNear, "MOGD subproblem-cache near hits (solves warm-started from the nearest cached box)")
+	r.Counter(MetricServingWarmup, "serving-cache entries primed from the run registry at boot")
+	r.Counter(MetricCalibPairs, "prediction-outcome pairs appended to the calibration ledger (also per workload+objective)")
+	r.Gauge(MetricCalibMAPE, "rolling-window mean absolute relative prediction error per workload+objective")
+	r.Gauge(MetricCalibBias, "rolling-window mean signed relative prediction error per workload+objective")
+	r.Gauge(MetricCalibCoverage, "rolling-window fraction of outcomes inside the model's z-sigma uncertainty interval per workload+objective")
+	r.Histogram(MetricCalibAbsErr, "absolute relative prediction error of observed outcomes", nil)
 }
 
 // Labeled renders the conventional single-label series name,
@@ -173,6 +194,14 @@ func (t *Telemetry) registerStandard() {
 // with their base family on /metrics (see baseName).
 func Labeled(name, label, value string) string {
 	return fmt.Sprintf("%s{%s=%q}", name, label, value)
+}
+
+// Labeled2 renders the two-label variant of Labeled — label order is part of
+// the series identity, so all feeders of a family must agree on it.
+// Labeled2(MetricCalibMAPE, "workload", "q1", "objective", "latency") =
+// `udao_calib_mape{workload="q1",objective="latency"}`.
+func Labeled2(name, l1, v1, l2, v2 string) string {
+	return fmt.Sprintf("%s{%s=%q,%s=%q}", name, l1, v1, l2, v2)
 }
 
 // NextRunID returns a fresh process-unique run identifier with the given

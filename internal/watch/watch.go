@@ -29,6 +29,15 @@
 //     optimizers as it served hits over the window, with >= CacheThrashMin
 //     (8) evictions — the working set no longer fits and every miss pays a
 //     full rebuild.
+//   - calib_drift: per workload+objective, the calibration ledger's rolling
+//     MAPE — predictions vs observed outcomes — reached CalibMAPEMax (0.35)
+//     with >= CalibMinPairs (8) pairs in the window: the model has drifted
+//     from the workload it was trained on and needs retraining.
+//   - coverage_collapse: per workload+objective, the fraction of outcomes
+//     inside the model's own z·sigma uncertainty interval fell below
+//     CalibCoverageFloor (0.5) over >= CalibMinPairs std-bearing pairs — the
+//     model is not just wrong, it is confidently wrong, so the §IV-B.3
+//     uncertainty-aware optimization can no longer trust its variance.
 //
 // Every rule is edge-triggered per offending key (workload or series): an
 // alert fires when the condition becomes true for new data, not on every
@@ -45,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/calib"
 	"repro/internal/runlog"
 	"repro/internal/telemetry"
 )
@@ -101,6 +111,15 @@ type Config struct {
 	ShedBurstMin       uint64  // default 20 requests in the window
 	CacheThrashMin     uint64  // default 8 LRU evictions in the window
 
+	// Calib, when non-nil, enables the calibration rules (calib_drift,
+	// coverage_collapse) over the prediction–outcome ledger's rolling
+	// windows.
+	Calib *calib.Ledger
+	// Calibration thresholds; zero selects the documented default.
+	CalibMAPEMax       float64 // default 0.35 rolling mean absolute relative error
+	CalibMinPairs      int     // default 8 pairs before a window is judged
+	CalibCoverageFloor float64 // default 0.5 of outcomes inside the z-sigma interval
+
 	// Flight configures the triggered flight recorder; zero disables it.
 	Flight FlightConfig
 
@@ -145,6 +164,15 @@ func (c *Config) defaults() {
 	}
 	if c.CacheThrashMin == 0 {
 		c.CacheThrashMin = 8
+	}
+	if c.CalibMAPEMax <= 0 {
+		c.CalibMAPEMax = 0.35
+	}
+	if c.CalibMinPairs <= 0 {
+		c.CalibMinPairs = 8
+	}
+	if c.CalibCoverageFloor <= 0 {
+		c.CalibCoverageFloor = 0.5
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -302,6 +330,10 @@ func (w *Watchdog) EvalOnce() []Alert {
 	}
 	if w.cfg.Runs != nil {
 		raised = append(raised, w.ruleHVDropStreak()...)
+	}
+	if w.cfg.Calib != nil {
+		raised = append(raised, w.ruleCalibDrift()...)
+		raised = append(raised, w.ruleCoverageCollapse()...)
 	}
 	w.prev, w.hasPrev = snap, true
 	w.lastEval = now
@@ -616,6 +648,90 @@ func (w *Watchdog) ruleCacheThrash(snap telemetry.Snapshot) []Alert {
 		Value: float64(evict), Threshold: float64(w.cfg.CacheThrashMin),
 		Summary: fmt.Sprintf("serving cache evicted %d optimizers against %d hits in the last window — the working set no longer fits; raise -cache-entries", evict, hits),
 	}}
+}
+
+// traceRunOf joins a run-registry record ID to its trace run ID (for alert
+// context), best effort.
+func (w *Watchdog) traceRunOf(runID string) string {
+	if w.cfg.Runs == nil || runID == "" {
+		return ""
+	}
+	if rec, ok := w.cfg.Runs.Get(runID); ok {
+		return rec.TraceRunID
+	}
+	return ""
+}
+
+// ruleCalibDrift: per workload+objective, the rolling-window MAPE of
+// predictions against observed outcomes reached the configured ceiling. The
+// total pair count is the edge evidence — a drifted window alerts once per
+// newly observed outcome batch, not once per sweep.
+func (w *Watchdog) ruleCalibDrift() []Alert {
+	var out []Alert
+	for _, wl := range w.cfg.Calib.Workloads() {
+		for _, st := range w.cfg.Calib.Calibration(wl) {
+			if st.Pairs < w.cfg.CalibMinPairs {
+				continue
+			}
+			key := "calibdrift|" + wl + "|" + st.Objective
+			if st.MAPE < w.cfg.CalibMAPEMax {
+				delete(w.fired, key)
+				continue
+			}
+			evidence := fmt.Sprintf("%d", st.Total)
+			if w.fired[key] == evidence {
+				continue
+			}
+			w.fired[key] = evidence
+			sev := "warning"
+			if st.MAPE >= 2*w.cfg.CalibMAPEMax {
+				sev = "critical"
+			}
+			out = append(out, Alert{
+				Rule: "calib_drift", Severity: sev, Workload: wl,
+				Value: st.MAPE, Threshold: w.cfg.CalibMAPEMax,
+				RunRecord: st.LastRun, TraceRun: w.traceRunOf(st.LastRun),
+				Summary: fmt.Sprintf("workload %q: %s predictions off by %.0f%% MAPE over the last %d observed outcomes (bias %+.0f%%, ceiling %.0f%%) — the model has drifted; retrain from fresh traces", wl, st.Objective, 100*st.MAPE, st.Pairs, 100*st.Bias, 100*w.cfg.CalibMAPEMax),
+			})
+		}
+	}
+	return out
+}
+
+// ruleCoverageCollapse: per workload+objective, too few observed outcomes
+// land inside the model's own z·sigma uncertainty interval — the predictive
+// variance underestimates the true error, so uncertainty-aware optimization
+// (§IV-B.3) is optimizing against a fiction.
+func (w *Watchdog) ruleCoverageCollapse() []Alert {
+	var out []Alert
+	for _, wl := range w.cfg.Calib.Workloads() {
+		for _, st := range w.cfg.Calib.Calibration(wl) {
+			if st.CoveragePairs < w.cfg.CalibMinPairs || st.Coverage == calib.CoverageUnknown {
+				continue
+			}
+			key := "calibcov|" + wl + "|" + st.Objective
+			if st.Coverage >= w.cfg.CalibCoverageFloor {
+				delete(w.fired, key)
+				continue
+			}
+			evidence := fmt.Sprintf("%d", st.Total)
+			if w.fired[key] == evidence {
+				continue
+			}
+			w.fired[key] = evidence
+			sev := "warning"
+			if st.Coverage < w.cfg.CalibCoverageFloor/2 {
+				sev = "critical"
+			}
+			out = append(out, Alert{
+				Rule: "coverage_collapse", Severity: sev, Workload: wl,
+				Value: st.Coverage, Threshold: w.cfg.CalibCoverageFloor,
+				RunRecord: st.LastRun, TraceRun: w.traceRunOf(st.LastRun),
+				Summary: fmt.Sprintf("workload %q: only %.0f%% of %d observed %s outcomes fell inside the model's uncertainty interval (floor %.0f%%) — predictive variance is underestimating the true error", wl, 100*st.Coverage, st.CoveragePairs, st.Objective, 100*w.cfg.CalibCoverageFloor),
+			})
+		}
+	}
+	return out
 }
 
 // ruleHVDropStreak: DropStreak consecutive recorded runs of one workload

@@ -345,6 +345,35 @@ func (o *Optimizer) Evals() uint64 {
 	return o.ev.Evals()
 }
 
+// PredictedStd returns the predictive standard deviation of each objective's
+// model at the encoded configuration x, keyed by objective name — the
+// uncertainty band the calibration ledger judges interval coverage against
+// when the observed outcome comes back (GP posterior variance, DNN MC-dropout
+// spread). Objectives whose model carries no predictive uncertainty (exact
+// knob functions) are omitted; nil when none does. Variance is orientation
+// independent, so maximized objectives need no negation here.
+func (o *Optimizer) PredictedStd(x []float64) map[string]float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	var out map[string]float64
+	for _, obj := range o.objs {
+		u, ok := obj.Model.(model.Uncertain)
+		if !ok {
+			continue
+		}
+		_, v := u.PredictVar(x)
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		if out == nil {
+			out = make(map[string]float64, len(o.objs))
+		}
+		out[obj.Name] = math.Sqrt(v)
+	}
+	return out
+}
+
 // MemoStats reports the evaluator's memoization cache hits and misses.
 func (o *Optimizer) MemoStats() (hits, misses uint64) {
 	if o.ev == nil {

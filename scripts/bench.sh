@@ -31,6 +31,10 @@
 #   internal/serving     ServingCacheHit / ServingCacheInsert /
 #                        CoalescedDispatch  (the serving cache's steady-state
 #                        lease path, eviction churn, and singleflight dispatch)
+#   internal/calib       CalibWindowAdd / CalibLedgerAppend  (the rolling
+#                        calibration window update — 0 allocs steady-state —
+#                        and the /observe ledger append, which must leave JSON
+#                        encoding and the disk write off the caller's path)
 #
 # After recording, a short udao-loadgen run (in-process server, 2 workloads,
 # 200 QPS for 2s) smoke-tests the QPS harness end to end — its numbers are
@@ -53,6 +57,7 @@ go test -run '^$' -bench 'MOGD' -benchmem -benchtime 1s ./internal/solver/mogd/ 
 go test -run '^$' -bench 'WSRun|NCRun' -benchmem -benchtime 1s ./internal/moo/ws/ ./internal/moo/nc/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime 1s ./internal/core/ >>"$RAW"
 go test -run '^$' -bench 'Serving|Coalesced' -benchmem -benchtime 1s ./internal/serving/ >>"$RAW"
+go test -run '^$' -bench 'Calib' -benchmem -benchtime 1s ./internal/calib/ >>"$RAW"
 
 CPU=$(awk -F': ' '/^cpu:/ {print $2; exit}' "$RAW")
 

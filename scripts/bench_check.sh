@@ -32,9 +32,10 @@ fi
 # evaluator seam (scalar, matrix-batch, and the stage-wise composite eval —
 # informational until its first scripts/bench.sh recording), the span
 # open+End pair (must stay allocation-free), the MOGD solver hot path, the
-# end-to-end Progressive Frontier loops, and the serving cache's lease /
-# insert / singleflight-dispatch paths.
-TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval SpanStartEnd MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel ServingCacheHit ServingCacheInsert CoalescedDispatch'
+# end-to-end Progressive Frontier loops, the serving cache's lease / insert /
+# singleflight-dispatch paths, and the calibration ledger's window update and
+# append (the /observe hot path — the append must stay off the disk write).
+TRACKED='GEMM ValueGradBatch EvaluatorValueGrad EvaluatorValueGradTelemetry EvaluatorMemoHit EvalBatch CompositeEval SpanStartEnd MOGDSolve MOGDSolveSerial MOGDSolveBatch Sequential Parallel ServingCacheHit ServingCacheInsert CoalescedDispatch CalibWindowAdd CalibLedgerAppend'
 
 RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
@@ -46,6 +47,7 @@ go test -run '^$' -bench 'SpanStartEnd$' -benchmem -benchtime "$BENCHTIME" ./int
 go test -run '^$' -bench 'MOGD' -benchmem -benchtime "$BENCHTIME" ./internal/solver/mogd/ >>"$RAW"
 go test -run '^$' -bench 'Sequential|Parallel' -benchmem -benchtime "$BENCHTIME" ./internal/core/ >>"$RAW"
 go test -run '^$' -bench 'Serving|Coalesced' -benchmem -benchtime "$BENCHTIME" ./internal/serving/ >>"$RAW"
+go test -run '^$' -bench 'Calib' -benchmem -benchtime "$BENCHTIME" ./internal/calib/ >>"$RAW"
 
 # Baseline ns/op and allocs/op of benchmark $1, taken from the LAST run in
 # BENCH_solver.json that contains it (the file is self-generated, one

@@ -8,7 +8,8 @@
 #      problem-layer evaluator, the composite space and recommendation
 #      layers), the cross-method conformance suite incl. the composite-space
 #      suites, and the observability layer (telemetry registry + spans, run
-#      registry, HTTP service incl. the sharded serving cache, watchdog)
+#      registry, calibration ledger, HTTP service incl. the sharded serving
+#      cache and the /observe loop, watchdog)
 #   4. full test suite
 #   5. benchmark smoke: one iteration of the MOGD benchmarks, so a broken
 #      benchmark harness fails CI instead of the next perf investigation
@@ -25,7 +26,7 @@ fi
 
 go vet ./...
 go build ./...
-go test -race ./internal/linalg/... ./internal/solver/... ./internal/model/... ./internal/core/... ./internal/problem/... ./internal/space/... ./internal/recommend/... ./internal/conformance/... ./internal/telemetry/... ./internal/runlog/... ./internal/watch/... ./internal/serving/... ./internal/service/...
+go test -race ./internal/linalg/... ./internal/solver/... ./internal/model/... ./internal/core/... ./internal/problem/... ./internal/space/... ./internal/recommend/... ./internal/conformance/... ./internal/telemetry/... ./internal/runlog/... ./internal/calib/... ./internal/watch/... ./internal/serving/... ./internal/service/...
 go test ./...
 go test -run '^$' -bench MOGD -benchtime 1x ./internal/solver/mogd/
 
